@@ -1,0 +1,68 @@
+package emptyheaded
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates the experiment via
+// internal/bench (quick configuration) and logs the resulting table; run
+// cmd/eh-bench for the full-size sweeps.
+
+import (
+	"testing"
+
+	"emptyheaded/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string) {
+	f, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := bench.Config{Reps: 1, Quick: true, PairwiseBudget: 20_000_000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := f(cfg)
+		if i == 0 {
+			b.StopTimer()
+			b.Logf("\n%s", t.Format())
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the dataset inventory (Table 3).
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFigure5 regenerates the uint-vs-bitset density sweep (Fig. 5).
+func BenchmarkFigure5(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFigure6 regenerates the composite-layout sweep (Fig. 6).
+func BenchmarkFigure6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFigure7 regenerates the node-ordering sweep (Fig. 7).
+func BenchmarkFigure7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkTable4 regenerates the layout-granularity study (Table 4).
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5 regenerates the triangle-counting comparison (Table 5).
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6 regenerates the PageRank comparison (Table 6).
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkTable7 regenerates the SSSP comparison (Table 7).
+func BenchmarkTable7(b *testing.B) { runExperiment(b, "table7") }
+
+// BenchmarkTable8 regenerates the pattern-query ablations (Table 8).
+func BenchmarkTable8(b *testing.B) { runExperiment(b, "table8") }
+
+// BenchmarkTable9 regenerates the ordering build times (Table 9).
+func BenchmarkTable9(b *testing.B) { runExperiment(b, "table9") }
+
+// BenchmarkTable10 regenerates the ordering-impact study (Table 10).
+func BenchmarkTable10(b *testing.B) { runExperiment(b, "table10") }
+
+// BenchmarkTable11 regenerates the feature ablations (Table 11).
+func BenchmarkTable11(b *testing.B) { runExperiment(b, "table11") }
+
+// BenchmarkTable13 regenerates the selection-query study (Table 13).
+func BenchmarkTable13(b *testing.B) { runExperiment(b, "table13") }

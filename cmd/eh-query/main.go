@@ -1,0 +1,83 @@
+// Command eh-query runs a datalog query against an edge-list graph.
+//
+// Usage:
+//
+//	eh-query -graph edges.txt [-directed] [-explain] [-limit 20] 'TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.'
+//
+// The graph is registered as the relation Edge (undirected by default:
+// each edge is loaded in both directions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"emptyheaded"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "edge list file (src dst per line)")
+	directed := flag.Bool("directed", false, "load edges as directed")
+	explain := flag.Bool("explain", false, "print the physical plan instead of running")
+	limit := flag.Int("limit", 20, "max result tuples to print")
+	flag.Parse()
+
+	if *graphPath == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: eh-query -graph edges.txt [flags] '<datalog query>'")
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	eng := emptyheaded.New()
+	if err := eng.LoadEdgeList("Edge", f, !*directed); err != nil {
+		fatal(err)
+	}
+	if *explain {
+		plan, err := eng.Explain(query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(plan)
+		return
+	}
+	t0 := time.Now()
+	res, err := eng.Run(query)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(t0)
+	if res.Trie.Arity == 0 {
+		fmt.Printf("%s = %g\n", res.Name, res.Scalar())
+	} else {
+		fmt.Printf("%s: %d tuples\n", res.Name, res.Cardinality())
+		n := 0
+		res.ForEach(func(tp []uint32, ann float64) {
+			if n >= *limit {
+				return
+			}
+			n++
+			fmt.Printf("  %v", tp)
+			if res.Trie.Annotated {
+				fmt.Printf(" : %g", ann)
+			}
+			fmt.Println()
+		})
+		if res.Cardinality() > *limit {
+			fmt.Printf("  ... (%d more)\n", res.Cardinality()-*limit)
+		}
+	}
+	fmt.Printf("elapsed: %s\n", elapsed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eh-query:", err)
+	os.Exit(1)
+}

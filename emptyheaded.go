@@ -1,0 +1,145 @@
+// Package emptyheaded is a Go implementation of EmptyHeaded, the
+// relational engine for graph processing of Aberger, Tu, Olukotun and Ré
+// (SIGMOD 2016).
+//
+// EmptyHeaded executes a datalog-like query language over trie-stored
+// relations. Query plans are generalized hypertree decompositions (GHDs);
+// within each GHD bag the engine runs the generic worst-case optimal join,
+// and across bags Yannakakis' algorithm. The storage engine picks set
+// layouts (uint vs bitset) and intersection algorithms (shuffle vs
+// galloping) per set based on density and cardinality skew.
+//
+// Quick start:
+//
+//	eng := emptyheaded.New()
+//	eng.LoadGraph("Edge", g)                 // *graph.Graph, or LoadEdgeList
+//	res, err := eng.Run(`TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
+//	fmt.Println(res.Scalar())                // triangle count
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
+// reproduction results.
+package emptyheaded
+
+import (
+	"io"
+
+	"emptyheaded/internal/core"
+	"emptyheaded/internal/exec"
+	"emptyheaded/internal/graph"
+	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/set"
+	"emptyheaded/internal/trie"
+)
+
+// Engine is an EmptyHeaded database + query engine instance.
+type Engine struct {
+	c *core.Engine
+}
+
+// Result is the output of a query: a relation (tuples with optional
+// semiring annotations) or a scalar.
+type Result = exec.Result
+
+// Graph re-exports the graph substrate type accepted by LoadGraph.
+type Graph = graph.Graph
+
+// Option configures an Engine.
+type Option func(*exec.Options)
+
+// WithUintLayout stores every set as a sorted uint array, disabling the
+// SIMD-friendly layout optimizer (the paper's "-R" ablation).
+func WithUintLayout() Option {
+	return func(o *exec.Options) {
+		o.Layout = trie.UintLayout
+		o.LayoutName = "uint"
+	}
+}
+
+// WithBitsetLayout forces the bitset layout for every set.
+func WithBitsetLayout() Option {
+	return func(o *exec.Options) {
+		o.Layout = trie.BitsetLayout
+		o.LayoutName = "bitset"
+	}
+}
+
+// WithCompositeLayout forces the block-level composite layout.
+func WithCompositeLayout() Option {
+	return func(o *exec.Options) {
+		o.Layout = trie.CompositeLayout
+		o.LayoutName = "composite"
+	}
+}
+
+// WithMergeOnly disables intersection-algorithm selection (scalar merge
+// everywhere; combined with WithUintLayout this is the paper's "-RA").
+func WithMergeOnly() Option {
+	return func(o *exec.Options) { o.Intersect.Algo = set.AlgoMerge }
+}
+
+// WithoutSIMD processes dense words bit-by-bit (the "-S" ablation).
+func WithoutSIMD() Option {
+	return func(o *exec.Options) { o.Intersect.BitByBit = true }
+}
+
+// WithSingleBagPlans forces single-bag GHDs (the "-GHD" ablation; the
+// plan shape of engines without GHD optimizers, like LogicBlox).
+func WithSingleBagPlans() Option {
+	return func(o *exec.Options) { o.SingleBag = true }
+}
+
+// WithoutSelectionPushdown disables cross-bag selection pushdown
+// (Table 13's "-GHD").
+func WithoutSelectionPushdown() Option {
+	return func(o *exec.Options) { o.NoPushdown = true }
+}
+
+// WithParallelism bounds the number of worker goroutines per join.
+func WithParallelism(n int) Option {
+	return func(o *exec.Options) { o.Parallelism = n }
+}
+
+// New returns an engine; options select ablations and tuning.
+func New(opts ...Option) *Engine {
+	var o exec.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	return &Engine{c: core.NewWithOptions(o)}
+}
+
+// LoadGraph registers a graph as the binary edge relation name.
+func (e *Engine) LoadGraph(name string, g *Graph) { e.c.LoadGraph(name, g) }
+
+// LoadEdgeList reads a "src dst" edge list and registers it as relation
+// name; vertex identifiers are dictionary encoded (§2.2 of the paper).
+func (e *Engine) LoadEdgeList(name string, r io.Reader, undirected bool) error {
+	return e.c.LoadEdgeList(name, r, undirected)
+}
+
+// AddRelation registers a relation from raw tuples.
+func (e *Engine) AddRelation(name string, arity int, tuples [][]uint32) {
+	e.c.AddRelation(name, arity, tuples)
+}
+
+// AddAnnotatedRelation registers a relation whose tuples carry semiring
+// annotations ("SUM", "MIN", "MAX", "COUNT").
+func (e *Engine) AddAnnotatedRelation(name string, arity int, aggregate string, tuples [][]uint32, anns []float64) error {
+	op, err := semiring.ParseOp(aggregate)
+	if err != nil {
+		return err
+	}
+	return e.c.AddAnnotatedRelation(name, arity, op, tuples, anns)
+}
+
+// Alias makes alias another name for target (pattern queries conventionally
+// spell the edge relation R, S, T, …).
+func (e *Engine) Alias(alias, target string) error { return e.c.Alias(alias, target) }
+
+// Run parses and executes a datalog program and returns the result of the
+// final rule group.
+func (e *Engine) Run(query string) (*Result, error) { return e.c.Run(query) }
+
+// Explain renders the physical plan of a single-rule query: the GHD, the
+// global attribute order, and the generated loop nest (Figure 1).
+func (e *Engine) Explain(query string) (string, error) { return e.c.Explain(query) }

@@ -1,0 +1,124 @@
+package emptyheaded
+
+import (
+	"strings"
+	"testing"
+
+	"emptyheaded/internal/gen"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g := gen.ErdosRenyi(200, 1500, 31)
+	eng := New()
+	eng.LoadGraph("Edge", g)
+	res, err := eng.Run(`TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar() <= 0 {
+		t.Fatalf("triangle count %v", res.Scalar())
+	}
+	// All ablation options agree on the answer.
+	for _, opts := range [][]Option{
+		{WithUintLayout()},
+		{WithUintLayout(), WithMergeOnly()},
+		{WithoutSIMD()},
+		{WithSingleBagPlans()},
+		{WithParallelism(2)},
+		{WithBitsetLayout()},
+		{WithCompositeLayout()},
+	} {
+		e2 := New(opts...)
+		e2.LoadGraph("Edge", g)
+		r2, err := e2.Run(`TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Scalar() != res.Scalar() {
+			t.Fatalf("ablation disagreement: %v vs %v", r2.Scalar(), res.Scalar())
+		}
+	}
+}
+
+func TestLoadEdgeListAndSelection(t *testing.T) {
+	eng := New()
+	err := eng.LoadEdgeList("Edge", strings.NewReader("1 2\n2 3\n3 1\n3 4\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(`TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar() != 6 { // triangle 1-2-3, all 6 orientations
+		t.Fatalf("triangles=%v want 6", res.Scalar())
+	}
+	// Selection constants resolve through the dictionary.
+	nres, err := eng.Run(`Nbr(x) :- Edge("3",x).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres.Cardinality() != 3 {
+		t.Fatalf("neighbors of 3 = %d want 3", nres.Cardinality())
+	}
+}
+
+func TestAlias(t *testing.T) {
+	g := gen.ErdosRenyi(100, 500, 32)
+	eng := New()
+	eng.LoadGraph("Edge", g)
+	for _, a := range []string{"R", "S", "T"} {
+		if err := eng.Alias(a, "Edge"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, err := eng.Run(`TC(;w:long) :- R(x,y),S(y,z),T(x,z); w=<<COUNT(*)>>.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eng.Run(`TC2(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Scalar() != r2.Scalar() {
+		t.Fatalf("alias answer differs: %v vs %v", r1.Scalar(), r2.Scalar())
+	}
+}
+
+func TestExplainPublic(t *testing.T) {
+	g := gen.ErdosRenyi(50, 200, 33)
+	eng := New()
+	eng.LoadGraph("Edge", g)
+	s, err := eng.Explain(`TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "GHD") || !strings.Contains(s, "attribute order") {
+		t.Fatalf("explain output:\n%s", s)
+	}
+}
+
+func TestAnnotatedRelationAPI(t *testing.T) {
+	eng := New()
+	eng.AddRelation("E", 2, [][]uint32{{0, 1}, {1, 2}})
+	err := eng.AddAnnotatedRelation("W", 1, "SUM",
+		[][]uint32{{1}, {2}}, []float64{2.5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(`S(x;s:float) :- E(x,z),W(z); s=<<SUM(z)>>.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint32]float64{}
+	res.ForEach(func(tp []uint32, ann float64) { got[tp[0]] = ann })
+	if got[0] != 2.5 || got[1] != 4 {
+		t.Fatalf("sums=%v", got)
+	}
+	if err := eng.AddAnnotatedRelation("X", 1, "AVG", nil, nil); err == nil {
+		t.Fatal("AVG should be rejected")
+	}
+	if err := eng.Alias("Y", "missing"); err == nil {
+		t.Fatal("alias of missing relation should fail")
+	}
+}

@@ -1,0 +1,72 @@
+// Sparse matrix multiplication through semiring annotations — the §2.2
+// claim that EmptyHeaded's aggregation framework covers "more
+// sophisticated operations such as matrix multiplication". The product
+// C(i,k) = Σ_j A(i,j)·B(j,k) is one rule: the join multiplies annotations
+// (⊗) and projecting j away sums them (⊕).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"emptyheaded"
+)
+
+const n = 400
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	var aT, bT [][]uint32
+	var aV, bV []float64
+	a := map[[2]int]float64{}
+	b := map[[2]int]float64{}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Intn(10) == 0 {
+				v := rng.Float64()
+				a[[2]int{i, j}] = v
+				aT = append(aT, []uint32{uint32(i), uint32(j)})
+				aV = append(aV, v)
+			}
+			if rng.Intn(10) == 0 {
+				v := rng.Float64()
+				b[[2]int{i, j}] = v
+				bT = append(bT, []uint32{uint32(i), uint32(j)})
+				bV = append(bV, v)
+			}
+		}
+	}
+
+	eng := emptyheaded.New()
+	if err := eng.AddAnnotatedRelation("A", 2, "SUM", aT, aV); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.AddAnnotatedRelation("B", 2, "SUM", bT, bV); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(`C(i,k;v:float) :- A(i,j),B(j,k); v=<<SUM(j)>>.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C = A·B: %d nonzeros (A: %d, B: %d, %d×%d)\n",
+		res.Cardinality(), len(aT), len(bT), n, n)
+
+	// Verify a sample of entries against the direct computation.
+	var maxErr float64
+	res.ForEach(func(tp []uint32, ann float64) {
+		var want float64
+		for j := 0; j < n; j++ {
+			want += a[[2]int{int(tp[0]), j}] * b[[2]int{j, int(tp[1])}]
+		}
+		if d := math.Abs(ann - want); d > maxErr {
+			maxErr = d
+		}
+	})
+	fmt.Printf("max |engine - direct| = %.2e\n", maxErr)
+	if maxErr > 1e-9 {
+		log.Fatal("engine disagrees with direct computation")
+	}
+	fmt.Println("sparse matrix product matches ✓")
+}

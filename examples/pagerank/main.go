@@ -1,0 +1,54 @@
+// PageRank expressed in three datalog rules (Table 1 of the paper),
+// validated against a hand-coded reference implementation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"emptyheaded"
+	"emptyheaded/internal/baseline"
+	"emptyheaded/internal/gen"
+)
+
+const query = `
+N(;w:int) :- Edge(x,y); w=<<COUNT(x)>>.
+InvDeg(x;d:float) :- Edge(x,y); d=1/<<COUNT(*)>>.
+PageRank(x;y:float) :- Edge(x,z); y=1/N.
+PageRank(x;y:float)*[i=5] :- Edge(x,z),PageRank(z),InvDeg(z); y=0.15+0.85*<<SUM(z)>>.
+`
+
+func main() {
+	g := gen.PowerLaw(5000, 40000, 2.3, 7)
+
+	eng := emptyheaded.New()
+	eng.LoadGraph("Edge", g)
+	res, err := eng.Run(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PageRank over %d vertices, 5 iterations\n", res.Cardinality())
+
+	// Cross-check against the hand-coded CSR kernel (the Galois-style
+	// baseline of Table 6).
+	ref := baseline.LowLevelPageRank(g, 5, 0)
+	var maxErr float64
+	var top uint32
+	var topVal float64
+	res.ForEach(func(tp []uint32, ann float64) {
+		if d := math.Abs(ann - ref[tp[0]]); d > maxErr {
+			maxErr = d
+		}
+		if ann > topVal {
+			topVal, top = ann, tp[0]
+		}
+	})
+	fmt.Printf("max |engine - reference| = %.2e\n", maxErr)
+	fmt.Printf("top-ranked vertex: %d (score %.5f, degree %d)\n",
+		top, topVal, g.Degree(int(top)))
+	if maxErr > 1e-9 {
+		log.Fatal("engine disagrees with reference")
+	}
+	fmt.Println("engine matches the hand-coded reference ✓")
+}

@@ -1,0 +1,43 @@
+// Quickstart: load a small graph, count and list triangles, and inspect
+// the GHD-based physical plan — the Figure 1 pipeline end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emptyheaded"
+	"emptyheaded/internal/gen"
+)
+
+func main() {
+	// A 2000-vertex power-law graph (stand-in for a small social graph).
+	g := gen.PowerLaw(2000, 12000, 2.2, 42)
+
+	eng := emptyheaded.New()
+	eng.LoadGraph("Edge", g)
+
+	// Triangle counting: one line of datalog (versus ~150-400 lines in
+	// the low-level engines the paper compares against).
+	res, err := eng.Run(`TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triangles (all orientations): %.0f\n", res.Scalar())
+
+	// Triangle listing with full materialization.
+	list, err := eng.Run(`Tri(x,y,z) :- Edge(x,y),Edge(y,z),Edge(x,z).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("listing cardinality: %d\n", list.Cardinality())
+
+	// The compiled plan: GHD, attribute order, and the generated loop
+	// nest of set intersections (Figure 1 of the paper).
+	plan, err := eng.Explain(`TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nphysical plan:")
+	fmt.Print(plan)
+}

@@ -1,0 +1,170 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"emptyheaded/internal/gen"
+	"emptyheaded/internal/graph"
+)
+
+func bruteTrianglesDirected(g *graph.Graph) int64 {
+	has := func(u, v uint32) bool {
+		for _, w := range g.Adj[u] {
+			if w == v {
+				return true
+			}
+			if w > v {
+				return false
+			}
+		}
+		return false
+	}
+	var n int64
+	for x := 0; x < g.N; x++ {
+		for _, y := range g.Adj[x] {
+			for _, z := range g.Adj[y] {
+				if has(uint32(x), z) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestTriangleEnginesAgree(t *testing.T) {
+	g := gen.PowerLaw(500, 4000, 2.2, 21)
+	pruned := g.Reorder(graph.OrderDegree, 0).Prune()
+	want := bruteTrianglesDirected(pruned)
+
+	if got := LowLevelTriangleCount(pruned, 0); got != want {
+		t.Fatalf("lowlevel=%d want %d", got, want)
+	}
+	if got := LowLevelTriangleCount(pruned, 1); got != want {
+		t.Fatalf("lowlevel serial=%d want %d", got, want)
+	}
+	if got := VertexCentricTriangleCount(pruned, 0); got != want {
+		t.Fatalf("vertexcentric=%d want %d", got, want)
+	}
+	// Snap-R style prunes internally from the undirected graph.
+	if got := ScalarMergeTriangleCount(g, 0); got != want {
+		t.Fatalf("scalarmerge=%d want %d", got, want)
+	}
+	got, err := PairwiseTriangleCount(pruned, 0)
+	if err != nil || got != want {
+		t.Fatalf("pairwise=%d err=%v want %d", got, err, want)
+	}
+}
+
+func TestPairwiseBudget(t *testing.T) {
+	g := gen.PowerLaw(500, 4000, 2.2, 22)
+	if _, err := PairwiseTriangleCount(g, 10); err != ErrBudget {
+		t.Fatalf("err=%v want ErrBudget", err)
+	}
+}
+
+func refPageRank(g *graph.Graph, iters int) []float64 {
+	sources := 0
+	for _, ns := range g.Adj {
+		if len(ns) > 0 {
+			sources++
+		}
+	}
+	pr := make([]float64, g.N)
+	for v := range pr {
+		pr[v] = 1 / float64(sources)
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, g.N)
+		for x := 0; x < g.N; x++ {
+			var s float64
+			for _, z := range g.Adj[x] {
+				if d := len(g.Adj[z]); d > 0 {
+					s += pr[z] / float64(d)
+				}
+			}
+			next[x] = 0.15 + 0.85*s
+		}
+		pr = next
+	}
+	return pr
+}
+
+func TestPageRankEnginesAgree(t *testing.T) {
+	g := gen.PowerLaw(300, 2500, 2.3, 23)
+	want := refPageRank(g, 5)
+	for name, got := range map[string][]float64{
+		"lowlevel":      LowLevelPageRank(g, 5, 0),
+		"vertexcentric": VertexCentricPageRank(g, 5),
+		"scalarmerge":   ScalarMergePageRank(g, 5),
+		"pairwise":      PairwisePageRank(g, 5),
+	} {
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9 {
+				t.Fatalf("%s: pr[%d]=%v want %v", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func refSSSP(g *graph.Graph, start uint32) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	frontier := []uint32{}
+	for _, v := range g.Adj[start] {
+		dist[v] = 1
+		frontier = append(frontier, v)
+	}
+	d := int32(1)
+	for len(frontier) > 0 {
+		d++
+		var next []uint32
+		for _, u := range frontier {
+			for _, v := range g.Adj[u] {
+				if dist[v] < 0 {
+					dist[v] = d
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+func TestSSSPEnginesAgree(t *testing.T) {
+	g := gen.PowerLaw(400, 2000, 2.3, 24)
+	start := g.MaxDegreeNode()
+	want := refSSSP(g, start)
+	for name, got := range map[string][]int32{
+		"lowlevel":      LowLevelSSSP(g, start),
+		"vertexcentric": VertexCentricSSSP(g, start),
+		"pairwise":      PairwiseSSSP(g, start),
+	} {
+		for v := range want {
+			if uint32(v) == start {
+				continue
+			}
+			if got[v] != want[v] {
+				t.Fatalf("%s: dist[%d]=%d want %d", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestMergeCount(t *testing.T) {
+	a := []uint32{1, 3, 5, 7}
+	b := []uint32{3, 4, 5, 9}
+	if n := mergeCount(a, b); n != 2 {
+		t.Fatalf("mergeCount=%d", n)
+	}
+	if n := scalarIntersect(a, b); n != 2 {
+		t.Fatalf("scalarIntersect=%d", n)
+	}
+	if n := mergeCount(nil, b); n != 0 {
+		t.Fatalf("empty mergeCount=%d", n)
+	}
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"errors"
+
+	"emptyheaded/internal/graph"
+)
+
+// ErrBudget reports that a pairwise plan exceeded its intermediate-result
+// budget; the benchmark harness reports it as the paper reports LogicBlox
+// and SociaLite timeouts ("t/o").
+var ErrBudget = errors.New("baseline: pairwise intermediate budget exceeded")
+
+// PairwiseTriangleCount is the high-level relational baseline
+// (SociaLite-style): a pairwise join plan that materializes the wedge
+// intermediate R(x,y) ⋈ S(y,z) — provably Ω(N²) in the worst case (§1) —
+// then probes T(x,z) with a hash join. maxIntermediate bounds the wedge
+// materialization (0 = unlimited); exceeding it returns ErrBudget.
+func PairwiseTriangleCount(g *graph.Graph, maxIntermediate int64) (int64, error) {
+	// Hash index on edges for the final probe.
+	edgeSet := make(map[uint64]struct{}, g.Edges())
+	for x, ns := range g.Adj {
+		for _, y := range ns {
+			edgeSet[uint64(x)<<32|uint64(y)] = struct{}{}
+		}
+	}
+	// Materialize wedges (x,y,z) with (x,y),(y,z) ∈ E.
+	type wedge struct{ x, z uint32 }
+	var wedges []wedge
+	for x, ns := range g.Adj {
+		for _, y := range ns {
+			for _, z := range g.Adj[y] {
+				wedges = append(wedges, wedge{uint32(x), z})
+				if maxIntermediate > 0 && int64(len(wedges)) > maxIntermediate {
+					return 0, ErrBudget
+				}
+			}
+		}
+	}
+	var n int64
+	for _, w := range wedges {
+		if _, ok := edgeSet[uint64(w.x)<<32|uint64(w.z)]; ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// pairRel is a simple tuple-list relation for the pairwise engine.
+type pairRel struct {
+	tuples [][2]uint32
+	anns   []float64
+}
+
+// hashJoin joins l.col(lk) = r.col(rk), producing (l-tuple ++ r-other)
+// with multiplied annotations — the classic pairwise building block.
+func hashJoin(l, r *pairRel, lk, rk int) *pairRel {
+	idx := map[uint32][]int{}
+	for i, t := range r.tuples {
+		idx[t[rk]] = append(idx[t[rk]], i)
+	}
+	out := &pairRel{}
+	for i, t := range l.tuples {
+		for _, j := range idx[t[lk]] {
+			rt := r.tuples[j]
+			out.tuples = append(out.tuples, [2]uint32{t[1-lk], rt[1-rk]})
+			la, ra := 1.0, 1.0
+			if l.anns != nil {
+				la = l.anns[i]
+			}
+			if r.anns != nil {
+				ra = r.anns[j]
+			}
+			out.anns = append(out.anns, la*ra)
+		}
+	}
+	return out
+}
+
+// PairwisePageRank is PageRank expressed as iterated pairwise hash joins
+// over tuple lists — the execution style of a datalog engine without
+// worst-case optimal joins or columnar storage.
+func PairwisePageRank(g *graph.Graph, iters int) []float64 {
+	edges := &pairRel{}
+	for x, ns := range g.Adj {
+		for _, z := range ns {
+			edges.tuples = append(edges.tuples, [2]uint32{uint32(x), z})
+		}
+	}
+	sources := 0
+	deg := make([]float64, g.N)
+	for v, ns := range g.Adj {
+		deg[v] = float64(len(ns))
+		if len(ns) > 0 {
+			sources++
+		}
+	}
+	pr := make([]float64, g.N)
+	for v := range pr {
+		pr[v] = 1 / float64(sources)
+	}
+	for it := 0; it < iters; it++ {
+		// PR'(x) = 0.15 + 0.85 Σ_z Edge(x,z)·PR(z)/deg(z), via a hash
+		// join of Edge with the PR vector.
+		contrib := &pairRel{}
+		for v := 0; v < g.N; v++ {
+			if deg[v] > 0 {
+				contrib.tuples = append(contrib.tuples, [2]uint32{uint32(v), 0})
+				contrib.anns = append(contrib.anns, pr[v]/deg[v])
+			}
+		}
+		joined := hashJoin(edges, contrib, 1, 0)
+		next := make([]float64, g.N)
+		for i, t := range joined.tuples {
+			next[t[0]] += joined.anns[i]
+		}
+		for x := range next {
+			next[x] = 0.15 + 0.85*next[x]
+		}
+		pr = next
+	}
+	return pr
+}
+
+// PairwiseSSSP iterates a join of the frontier with the edge relation,
+// rebuilding a hash index every round (no incremental frontier storage).
+func PairwiseSSSP(g *graph.Graph, start uint32) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	frontier := map[uint32]int32{}
+	for _, v := range g.Adj[start] {
+		dist[v] = 1
+		frontier[v] = 1
+	}
+	for len(frontier) > 0 {
+		// "Join" frontier ⋈ Edge via per-round scan of all edges
+		// (SociaLite's seminaive without indexed deltas).
+		next := map[uint32]int32{}
+		for w := 0; w < g.N; w++ {
+			dw, inF := frontier[uint32(w)]
+			if !inF {
+				continue
+			}
+			for _, x := range g.Adj[w] {
+				nd := dw + 1
+				if dist[x] < 0 || nd < dist[x] {
+					dist[x] = nd
+					next[x] = nd
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}

@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"emptyheaded/internal/graph"
+)
+
+// ScalarMergeTriangleCount is the Snap-R-style engine: it "prunes each
+// neighborhood on the fly using a simple merge sort algorithm and then
+// intersects each neighborhood using a custom scalar intersection"
+// (Appendix C.1) — the pruning cost is part of the measured runtime.
+// Input is the *unpruned* undirected graph.
+func ScalarMergeTriangleCount(g *graph.Graph, parallelism int) int64 {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	// On-the-fly pruning: sort each neighborhood copy and keep v < u.
+	pruned := make([][]uint32, g.N)
+	var wg sync.WaitGroup
+	chunk := (g.N + parallelism - 1) / parallelism
+	for p := 0; p < parallelism; p++ {
+		lo, hi := p*chunk, (p+1)*chunk
+		if hi > g.N {
+			hi = g.N
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for u := lo; u < hi; u++ {
+				var keep []uint32
+				for _, v := range g.Adj[u] {
+					if v < uint32(u) {
+						keep = append(keep, v)
+					}
+				}
+				sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+				pruned[u] = keep
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	partial := make([]int64, parallelism)
+	for p := 0; p < parallelism; p++ {
+		lo, hi := p*chunk, (p+1)*chunk
+		if hi > g.N {
+			hi = g.N
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			var n int64
+			for x := lo; x < hi; x++ {
+				nx := pruned[x]
+				for _, y := range nx {
+					n += int64(scalarIntersect(nx, pruned[y]))
+				}
+			}
+			partial[p] = n
+		}(p, lo, hi)
+	}
+	wg.Wait()
+	var total int64
+	for _, n := range partial {
+		total += n
+	}
+	return total
+}
+
+// scalarIntersect is a deliberately branch-heavy element-at-a-time
+// intersection (the "custom scalar intersection" of Snap-R).
+func scalarIntersect(a, b []uint32) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// ScalarMergePageRank is PageRank with the same per-iteration allocation
+// profile as the Snap-R implementation (fresh score arrays per round).
+func ScalarMergePageRank(g *graph.Graph, iters int) []float64 {
+	sources := 0
+	for _, ns := range g.Adj {
+		if len(ns) > 0 {
+			sources++
+		}
+	}
+	pr := make([]float64, g.N)
+	for v := range pr {
+		pr[v] = 1 / float64(sources)
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, g.N)
+		for x := 0; x < g.N; x++ {
+			var s float64
+			for _, z := range g.Adj[x] {
+				if d := len(g.Adj[z]); d > 0 {
+					s += pr[z] / float64(d)
+				}
+			}
+			next[x] = 0.15 + 0.85*s
+		}
+		pr = next
+	}
+	return pr
+}

@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"runtime"
+	"sync"
+
+	"emptyheaded/internal/graph"
+)
+
+// hashSetThreshold mirrors PowerGraph's adjacency representation: "a hash
+// set (with a cuckoo hash) if the degree is larger than 64 and otherwise
+// ... a vector of sorted node IDs" (Appendix C.1).
+const hashSetThreshold = 64
+
+type vcAdjacency struct {
+	sorted [][]uint32
+	hashed []map[uint32]struct{}
+}
+
+func buildVCAdjacency(g *graph.Graph) *vcAdjacency {
+	a := &vcAdjacency{sorted: g.Adj, hashed: make([]map[uint32]struct{}, g.N)}
+	for v, ns := range g.Adj {
+		if len(ns) > hashSetThreshold {
+			m := make(map[uint32]struct{}, len(ns))
+			for _, w := range ns {
+				m[w] = struct{}{}
+			}
+			a.hashed[v] = m
+		}
+	}
+	return a
+}
+
+func (a *vcAdjacency) intersectCount(u, v uint32) int64 {
+	// Probe the smaller list against the larger's hash set when present,
+	// else scalar merge — PowerGraph's strategy.
+	nu, nv := a.sorted[u], a.sorted[v]
+	if len(nu) > len(nv) {
+		u, v = v, u
+		nu, nv = nv, nu
+	}
+	if h := a.hashed[v]; h != nil {
+		var n int64
+		for _, w := range nu {
+			if _, ok := h[w]; ok {
+				n++
+			}
+		}
+		return n
+	}
+	return int64(mergeCount(nu, nv))
+}
+
+// gatherProgram is the vertex-program interface of the GAS abstraction:
+// PowerGraph dispatches a virtual gather per edge and combines the
+// returned accumulators — the programming-model overhead the paper
+// attributes to it (Appendix C.1).
+type gatherProgram interface {
+	Gather(src, dst uint32) gatherAccum
+	Sum(a, b gatherAccum) gatherAccum
+}
+
+// gatherAccum is the per-edge accumulator object; PowerGraph materializes
+// one per gather.
+type gatherAccum struct{ count int64 }
+
+type triangleProgram struct{ adj *vcAdjacency }
+
+func (tp *triangleProgram) Gather(src, dst uint32) gatherAccum {
+	return gatherAccum{count: tp.adj.intersectCount(src, dst)}
+}
+
+func (tp *triangleProgram) Sum(a, b gatherAccum) gatherAccum {
+	return gatherAccum{count: a.count + b.count}
+}
+
+// VertexCentricTriangleCount is the PowerGraph-style engine: the GAS
+// abstraction dispatches a gather program per edge (virtual call +
+// accumulator per edge) with hash-set intersections for high-degree
+// vertices, parallelized over vertices. Input is the pruned graph.
+func VertexCentricTriangleCount(g *graph.Graph, parallelism int) int64 {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	var prog gatherProgram = &triangleProgram{adj: buildVCAdjacency(g)}
+	partial := make([]int64, parallelism)
+	var wg sync.WaitGroup
+	chunk := (g.N + parallelism - 1) / parallelism
+	for p := 0; p < parallelism; p++ {
+		lo, hi := p*chunk, (p+1)*chunk
+		if hi > g.N {
+			hi = g.N
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			var total int64
+			for x := lo; x < hi; x++ {
+				acc := gatherAccum{}
+				for _, y := range g.Adj[x] {
+					acc = prog.Sum(acc, prog.Gather(uint32(x), y))
+				}
+				total += acc.count
+			}
+			partial[p] = total
+		}(p, lo, hi)
+	}
+	wg.Wait()
+	var total int64
+	for _, n := range partial {
+		total += n
+	}
+	return total
+}
+
+// vcMessage models PowerGraph's gather phase with explicit per-edge
+// message materialization (the programming-model overhead the paper
+// refers to in Appendix C.1).
+type vcMessage struct {
+	dst uint32
+	val float64
+}
+
+// VertexCentricPageRank runs gather-apply-scatter PageRank with per-edge
+// messages.
+func VertexCentricPageRank(g *graph.Graph, iters int) []float64 {
+	sources := 0
+	for _, ns := range g.Adj {
+		if len(ns) > 0 {
+			sources++
+		}
+	}
+	pr := make([]float64, g.N)
+	inv := make([]float64, g.N)
+	for v := range pr {
+		pr[v] = 1 / float64(sources)
+		if d := len(g.Adj[v]); d > 0 {
+			inv[v] = 1 / float64(d)
+		}
+	}
+	msgs := make([]vcMessage, 0, g.Edges())
+	for it := 0; it < iters; it++ {
+		// Scatter: each vertex sends pr·inv along its edges.
+		msgs = msgs[:0]
+		for z := 0; z < g.N; z++ {
+			contrib := pr[z] * inv[z]
+			for _, x := range g.Adj[z] {
+				msgs = append(msgs, vcMessage{dst: x, val: contrib})
+			}
+		}
+		// Gather + apply.
+		acc := make([]float64, g.N)
+		for _, m := range msgs {
+			acc[m.dst] += m.val
+		}
+		for x := 0; x < g.N; x++ {
+			pr[x] = 0.15 + 0.85*acc[x]
+		}
+	}
+	return pr
+}
+
+// VertexCentricSSSP runs frontier-driven label correction with per-edge
+// message materialization.
+func VertexCentricSSSP(g *graph.Graph, start uint32) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	frontier := map[uint32]struct{}{}
+	for _, v := range g.Adj[start] {
+		dist[v] = 1
+		frontier[v] = struct{}{}
+	}
+	for len(frontier) > 0 {
+		var msgs []vcMessage
+		for u := range frontier {
+			for _, v := range g.Adj[u] {
+				msgs = append(msgs, vcMessage{dst: v, val: float64(dist[u] + 1)})
+			}
+		}
+		next := map[uint32]struct{}{}
+		for _, m := range msgs {
+			nd := int32(m.val)
+			if dist[m.dst] < 0 || nd < dist[m.dst] {
+				dist[m.dst] = nd
+				next[m.dst] = struct{}{}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCellFormatting(t *testing.T) {
+	cases := []struct {
+		c    Cell
+		want string
+	}{
+		{Seconds(1500 * time.Millisecond), "1.50s"},
+		{Seconds(2500 * time.Microsecond), "2.5ms"},
+		{Seconds(800 * time.Nanosecond), "0.8µs"},
+		{Ratio(3.456), "3.46x"},
+		{Num(42), "42"},
+		{Note("t/o"), "t/o"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Fatalf("Cell %v = %q want %q", c.c, got, c.want)
+		}
+	}
+}
+
+func TestTableFormatAligned(t *testing.T) {
+	tbl := &Table{
+		ID: "t", Title: "demo",
+		Columns: []string{"a", "bb"},
+		Rows: []Row{
+			{Label: "row1", Cells: []Cell{Num(1), Num(2)}},
+			{Label: "longer-row", Cells: []Cell{Num(3), Note("t/o")}},
+		},
+	}
+	s := tbl.Format()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "t/o") {
+		t.Fatalf("format:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines=%d:\n%s", len(lines), s)
+	}
+}
+
+func TestByIDCoversAllExperiments(t *testing.T) {
+	for _, id := range IDs() {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("experiment %s unmapped", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestFigure5Quick smoke-runs one figure experiment end to end and checks
+// the expected crossover property: at the highest density the bitset
+// layout beats uint.
+func TestFigure5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench experiment in -short mode")
+	}
+	cfg := Config{Reps: 3, Quick: true}
+	tbl := Figure5(cfg)
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	last := tbl.Rows[len(tbl.Rows)-1] // density 1e-1
+	uintT, bitsetT := last.Cells[0].Value, last.Cells[1].Value
+	if bitsetT >= uintT {
+		t.Errorf("at density 0.1 bitset (%v) should beat uint (%v)", bitsetT, uintT)
+	}
+}
+
+// TestTable4Quick checks the set-level optimizer is never the worst
+// granularity (its Table 4 property).
+func TestTable4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench experiment in -short mode")
+	}
+	cfg := Config{Reps: 1, Quick: true}
+	tbl := Table4(cfg)
+	for _, r := range tbl.Rows {
+		rel, set, blk := r.Cells[0].Value, r.Cells[1].Value, r.Cells[2].Value
+		if set > rel && set > blk {
+			t.Errorf("%s: set-level (%.2fx) worst of (rel %.2fx, block %.2fx)",
+				r.Label, set, rel, blk)
+		}
+	}
+}

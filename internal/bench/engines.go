@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"emptyheaded/internal/core"
+	"emptyheaded/internal/exec"
+	"emptyheaded/internal/graph"
+	"emptyheaded/internal/set"
+	"emptyheaded/internal/trie"
+)
+
+// Query strings used across the experiments (all atoms name the single
+// edge relation, the benchmark convention for self-join pattern queries).
+const (
+	qTriangle = `TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`
+	qK4       = `K4(;c:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,w),Edge(y,w),Edge(z,w); c=<<COUNT(*)>>.`
+	qL31      = `L31(;c:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,w); c=<<COUNT(*)>>.`
+	qB31      = `B31(;c:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,x2),Edge(x2,y2),Edge(y2,z2),Edge(x2,z2); c=<<COUNT(*)>>.`
+	qPageRank = `
+N(;w:int) :- Edge(x,y); w=<<COUNT(x)>>.
+InvDeg(x;d:float) :- Edge(x,y); d=1/<<COUNT(*)>>.
+PageRank(x;y:float) :- Edge(x,z); y=1/N.
+PageRank(x;y:float)*[i=5] :- Edge(x,z),PageRank(z),InvDeg(z); y=0.15+0.85*<<SUM(z)>>.`
+)
+
+func qSK4(node uint32) string {
+	return fmt.Sprintf(`SK4(;c:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,w),Edge(y,w),Edge(z,w),Edge("%d",x); c=<<COUNT(*)>>.`, node)
+}
+
+func qSB31(node uint32) string {
+	return fmt.Sprintf(`SB31(;c:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,"%d"),Edge("%d",x2),Edge(x2,y2),Edge(y2,z2),Edge(x2,z2); c=<<COUNT(*)>>.`, node, node)
+}
+
+func qSSSP(start uint32) string {
+	return fmt.Sprintf(`
+SSSP(x;y:int) :- Edge("%d",x); y=1.
+SSSP(x;y:int)* :- Edge(w,x),SSSP(w); y=<<MIN(w)>>+1.`, start)
+}
+
+// Engine configurations: the EmptyHeaded optimizer, its ablations, and
+// the LogicBlox stand-in (worst-case optimal leapfrog-style execution:
+// single-bag plans, uint-only layouts, min-property galloping, naive
+// recursion; §5.1.2).
+var (
+	engineDefault = exec.Options{}
+	engineNoR     = exec.OptNoLayout
+	engineNoRA    = exec.OptNoLayoutNoAlgo
+	engineNoSIMD  = exec.OptNoSIMD
+	engineNoGHD   = exec.OptNoGHD
+	engineLB      = exec.Options{
+		SingleBag:      true,
+		Layout:         trie.UintLayout,
+		LayoutName:     "uint",
+		Intersect:      set.Config{Algo: set.AlgoGalloping},
+		NaiveRecursion: true,
+	}
+)
+
+// withTimeout attaches the harness timeout used for "t/o" rows.
+func withTimeout(o exec.Options, d time.Duration) exec.Options {
+	o.Timeout = d
+	return o
+}
+
+// benchTimeout is the per-measurement cap standing in for the paper's
+// 30-minute timeout, scaled to our ~100×-smaller datasets.
+const benchTimeout = 20 * time.Second
+
+// newEngine loads g as Edge under the given options.
+func newEngine(g *graph.Graph, opts exec.Options) *core.Engine {
+	e := core.NewWithOptions(opts)
+	e.LoadGraph("Edge", g)
+	return e
+}
+
+// runQuery executes a query on a fresh engine over g; it returns the
+// scalar result and whether the run timed out.
+func runQuery(g *graph.Graph, opts exec.Options, query string) (float64, bool) {
+	e := newEngine(g, opts)
+	res, err := e.Run(query)
+	if err == exec.ErrTimeout {
+		return 0, true
+	}
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	if res.Trie.Arity == 0 {
+		return res.Scalar(), false
+	}
+	return float64(res.Cardinality()), false
+}
+
+// runTriangleCount is the Figure 7 inner measurement.
+func runTriangleCount(g *graph.Graph, opts exec.Options) float64 {
+	v, _ := runQuery(g, opts, qTriangle)
+	return v
+}
+
+// measureQuery times query execution (engine construction excluded, as
+// the paper excludes loading and index build, §5.1.3) and reports "t/o"
+// cells on timeout.
+func measureQuery(reps int, g *graph.Graph, opts exec.Options, query string) Cell {
+	e := newEngine(g, opts)
+	// Warm the index cache outside the timed region.
+	if _, err := e.Run(query); err != nil {
+		if err == exec.ErrTimeout {
+			return Note("t/o")
+		}
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if _, err := e.Run(query); err != nil {
+			if err == exec.ErrTimeout {
+				return Note("t/o")
+			}
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return Seconds(best)
+}

@@ -1,0 +1,133 @@
+// Package core ties EmptyHeaded together: the query compiler (datalog →
+// GHD → physical plan), the execution engine, and graph/relation loading.
+// It is the paper's primary contribution assembled behind one facade
+// (Figure 1): query compiler → code generation → execution engine with
+// automatic algorithmic and layout decisions.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"emptyheaded/internal/datalog"
+	"emptyheaded/internal/exec"
+	"emptyheaded/internal/graph"
+	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/trie"
+)
+
+// Engine is an EmptyHeaded instance: a database of trie-stored relations
+// plus execution options.
+type Engine struct {
+	DB   *exec.DB
+	Opts exec.Options
+	// graphs remembers loaded graphs by relation name for the
+	// benchmark harness and examples.
+	graphs map[string]*graph.Graph
+}
+
+// New returns an engine with the full optimizer enabled.
+func New() *Engine {
+	return &Engine{DB: exec.NewDB(), graphs: map[string]*graph.Graph{}}
+}
+
+// NewWithOptions returns an engine with explicit execution options
+// (ablations, layout policies, parallelism).
+func NewWithOptions(opts exec.Options) *Engine {
+	e := New()
+	e.Opts = opts
+	return e
+}
+
+// LoadGraph registers a graph as the binary edge relation `name`.
+func (e *Engine) LoadGraph(name string, g *graph.Graph) {
+	e.DB.AddGraph(name, g, e.Opts.Layout, e.layoutName())
+	e.graphs[name] = g
+}
+
+func (e *Engine) layoutName() string {
+	if e.Opts.LayoutName == "" {
+		return "auto"
+	}
+	return e.Opts.LayoutName
+}
+
+// Graph returns a previously loaded graph.
+func (e *Engine) Graph(name string) (*graph.Graph, bool) {
+	g, ok := e.graphs[name]
+	return g, ok
+}
+
+// LoadEdgeList reads a "src dst" edge list, dictionary-encodes it, and
+// registers it as relation `name`. The dictionary becomes the engine's
+// constant-resolution dictionary.
+func (e *Engine) LoadEdgeList(name string, r io.Reader, undirected bool) error {
+	g, dict, err := graph.ParseEdgeList(r, undirected)
+	if err != nil {
+		return err
+	}
+	e.DB.Dict = dict
+	e.LoadGraph(name, g)
+	return nil
+}
+
+// AddRelation registers an arbitrary relation from tuples.
+func (e *Engine) AddRelation(name string, arity int, tuples [][]uint32) {
+	b := trie.NewBuilder(arity, semiring.None, e.Opts.Layout)
+	for _, t := range tuples {
+		b.Add(t...)
+	}
+	e.DB.AddTrie(name, b.Build())
+}
+
+// AddAnnotatedRelation registers an annotated relation.
+func (e *Engine) AddAnnotatedRelation(name string, arity int, op semiring.Op, tuples [][]uint32, anns []float64) error {
+	if len(tuples) != len(anns) {
+		return fmt.Errorf("core: %d tuples, %d annotations", len(tuples), len(anns))
+	}
+	b := trie.NewBuilder(arity, op, e.Opts.Layout)
+	for i, t := range tuples {
+		b.AddAnn(anns[i], t...)
+	}
+	e.DB.AddTrie(name, b.Build())
+	return nil
+}
+
+// Alias registers `alias` as another name for relation `target` (the
+// paper's pattern queries spell the edge relation R, S, T, …).
+func (e *Engine) Alias(alias, target string) error {
+	rel, ok := e.DB.Relation(target)
+	if !ok {
+		return fmt.Errorf("core: unknown relation %s", target)
+	}
+	e.DB.AddTrie(alias, rel.Canonical())
+	if g, ok := e.graphs[target]; ok {
+		e.graphs[alias] = g
+	}
+	return nil
+}
+
+// Run parses and executes a datalog program, returning the result of its
+// final rule group. Intermediate head relations stay registered in the
+// database.
+func (e *Engine) Run(query string) (*exec.Result, error) {
+	prog, err := datalog.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return exec.RunProgram(e.DB, prog, e.Opts)
+}
+
+// Explain compiles the (single-rule) query and renders its physical plan
+// in the paper's generated-code shape (Figure 1).
+func (e *Engine) Explain(query string) (string, error) {
+	rule, err := datalog.ParseRule(query)
+	if err != nil {
+		return "", err
+	}
+	p, err := exec.Compile(e.DB, rule, e.Opts)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}

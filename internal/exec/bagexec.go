@@ -1,0 +1,616 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/set"
+	"emptyheaded/internal/trie"
+)
+
+// ErrTimeout is returned when Options.Timeout elapses during execution.
+var ErrTimeout = errors.New("exec: query timeout exceeded")
+
+// Run executes the plan and returns the result relation.
+func (p *Plan) Run() (*Result, error) {
+	if p.opts.Timeout > 0 {
+		p.deadline = time.Now().Add(p.opts.Timeout)
+		p.stop = new(atomic.Bool)
+	}
+	results := map[int]*trie.Trie{}
+	if err := p.runBag(p.Root, results); err != nil {
+		return nil, err
+	}
+	out := results[p.Root.ID]
+	final := p.Root
+	if p.Assembly != nil {
+		// Bind every materialized bag into the assembly join.
+		for _, a := range p.Assembly.Atoms {
+			a.child.result = results[a.child.resolveID()]
+		}
+		t, err := p.execBag(p.Assembly)
+		if err != nil {
+			return nil, err
+		}
+		out = t
+		final = p.Assembly
+	}
+	res := &Result{
+		Name:  p.Rule.Head.Name,
+		Attrs: final.OutAttrs,
+		Trie:  out,
+		Plan:  p,
+	}
+	return res, nil
+}
+
+// resolveID follows dedup links.
+func (bp *BagPlan) resolveID() int {
+	if bp.DedupOf >= 0 {
+		return bp.DedupOf
+	}
+	return bp.ID
+}
+
+// runBag executes the bag tree bottom-up (the first Yannakakis pass,
+// §3.3.2 "Across Nodes"), sharing results between equivalent bags
+// (App. B.2).
+func (p *Plan) runBag(bp *BagPlan, results map[int]*trie.Trie) error {
+	for _, c := range bp.Children {
+		if err := p.runBag(c, results); err != nil {
+			return err
+		}
+	}
+	if bp.DedupOf >= 0 {
+		if _, ok := results[bp.DedupOf]; !ok {
+			return fmt.Errorf("exec: dedup target bag %d not yet computed", bp.DedupOf)
+		}
+		return nil
+	}
+	for _, a := range bp.Atoms {
+		if a.child != nil {
+			a.child.result = results[a.child.resolveID()]
+		}
+	}
+	t, err := p.execBag(bp)
+	if err != nil {
+		return err
+	}
+	results[bp.ID] = t
+	return nil
+}
+
+// cursor tracks one atom's descent through its trie during the loop nest.
+type cursor struct {
+	atom *AtomRef
+	t    *trie.Trie
+	// nodes[l] is the trie node whose Set binds atom level l; nodes has
+	// one entry per atom level, filled during descent.
+	nodes []*trie.Node
+	// hints[l] is a monotone rank hint into nodes[l].Set: within one loop
+	// nest level, probed values ascend, so ranks ascend too.
+	hints []int
+	// bagLevel[l] maps the atom level to the bag loop-nest level (-1 for
+	// constants, handled in preDescend).
+	bagLevel []int
+}
+
+// bagExec carries per-execution state.
+type bagExec struct {
+	p  *Plan
+	bp *BagPlan
+	// perLevel[lvl] lists (cursor, atomLevel) pairs participating at each
+	// bag level.
+	perLevel  [][]curRef
+	cursors   []*cursor
+	op        semiring.Op
+	cfg       set.Config
+	countTail bool // last level computable via IntersectCount
+	// scalarFactor is the ⊗-product of zero-arity participants (scalar
+	// child bags from disconnected components, e.g. the second triangle
+	// of the Barbell-selection plan).
+	scalarFactor float64
+}
+
+type curRef struct {
+	c         *cursor
+	atomLevel int
+}
+
+// execBag runs the generic worst-case optimal join (Algorithm 1) for one
+// bag and materializes its output trie.
+func (p *Plan) execBag(bp *BagPlan) (*trie.Trie, error) {
+	op := p.aggOp()
+	ex := &bagExec{p: p, bp: bp, op: op, cfg: p.opts.Intersect}
+	ex.perLevel = make([][]curRef, len(bp.Attrs))
+	ex.scalarFactor = op.One()
+	for _, a := range bp.Atoms {
+		var t *trie.Trie
+		if a.child != nil {
+			t = a.child.result
+		} else {
+			rel, ok := p.db.Relation(a.Rel)
+			if !ok {
+				return nil, fmt.Errorf("exec: relation %s vanished", a.Rel)
+			}
+			t = rel.Index(a.Perm, p.opts.layout(), p.opts.layoutName())
+		}
+		if t.Arity == 0 {
+			if !a.SemijoinOnly {
+				// Semijoin-only scalar children contribute in the
+				// assembly instead (spanning aggregates).
+				ex.scalarFactor = op.Mul(ex.scalarFactor, t.Scalar)
+			}
+			continue
+		}
+		c := &cursor{atom: a, t: t}
+		c.nodes = make([]*trie.Node, t.Arity+1)
+		c.hints = make([]int, t.Arity)
+		c.nodes[0] = t.Root
+		for al := range a.Attrs {
+			c.bagLevel = append(c.bagLevel, levelOf(bp, a, al))
+		}
+		ex.cursors = append(ex.cursors, c)
+		for al, bl := range c.bagLevel {
+			if bl >= 0 {
+				ex.perLevel[bl] = append(ex.perLevel[bl], curRef{c: c, atomLevel: al})
+			}
+		}
+	}
+	// Sanity: every level has at least one participant.
+	for lvl, refs := range ex.perLevel {
+		if len(refs) == 0 {
+			return nil, fmt.Errorf("exec: no atom binds attribute %s", bp.Attrs[lvl])
+		}
+	}
+	// Pre-descend selection constants (App. B.1: selections are
+	// processed first; constant levels sort before variable levels in
+	// every atom's index order).
+	for _, c := range ex.cursors {
+		if !ex.preDescend(c) {
+			// A selection constant is absent: the bag result is empty.
+			return ex.emptyResult(), nil
+		}
+	}
+	// Count-only tail: the final level is eliminated, aggregates by
+	// multiplicity under SUM/COUNT, and no annotated atom contributes
+	// there — the triangle-count inner loop (§5.2.1) hits this path.
+	ex.countTail = ex.countTailOK()
+
+	if len(bp.Attrs) == 0 {
+		// All-constant bag: the result is the scalar factor.
+		return trie.NewScalar(ex.scalarFactor, op), nil
+	}
+	rows, anns, scalar, err := ex.runParallel()
+	if err != nil {
+		return nil, err
+	}
+	if p.stop != nil && p.stop.Load() {
+		return nil, ErrTimeout
+	}
+	return ex.materialize(rows, anns, scalar), nil
+}
+
+func (p *Plan) aggOp() semiring.Op {
+	if p.Agg.Present {
+		return p.Agg.Op
+	}
+	return semiring.Sum
+}
+
+// preDescend walks an atom's leading constant levels.
+func (ex *bagExec) preDescend(c *cursor) bool {
+	if c.t.Arity == 0 {
+		return true
+	}
+	for al := 0; al < len(c.atom.Attrs); al++ {
+		v, isConst := c.atom.Consts[al]
+		if !isConst {
+			return true
+		}
+		n := c.nodes[al]
+		if n == nil || !n.Set.Contains(v) {
+			return false
+		}
+		c.nodes[al+1] = n.Child(v)
+	}
+	return true
+}
+
+func (ex *bagExec) countTailOK() bool {
+	bp := ex.bp
+	last := len(bp.Attrs) - 1
+	if last < 0 || bp.Out[last] {
+		return false
+	}
+	if !ex.p.Agg.Present {
+		return false
+	}
+	if ex.op != semiring.Sum && ex.op != semiring.Count {
+		return false
+	}
+	// Multiplicity semantics at the tail: either COUNT(*)/no agg var, or
+	// the aggregate variable *is* the last attribute.
+	if ex.p.Agg.Var != "*" && ex.p.Agg.Var != "" && bp.AggVarLevel != last {
+		return false
+	}
+	if bp.ExistsFrom <= last {
+		return false
+	}
+	for _, a := range ex.bp.Atoms {
+		if a.Annotated && a.LastLevel >= 0 && levelOf(bp, a, a.LastLevel) == last {
+			return false
+		}
+	}
+	return true
+}
+
+func (ex *bagExec) emptyResult() *trie.Trie {
+	b := trie.NewBuilder(len(ex.bp.OutAttrs), ex.op, ex.p.opts.layout())
+	return b.Build()
+}
+
+// worker holds one goroutine's accumulation state.
+type worker struct {
+	ex     *bagExec
+	outBuf []uint32
+	rows   [][]uint32
+	anns   []float64
+	scalar float64
+	tick   uint32 // timeout check pacing
+	// scratch provides two ping-pong intersection buffer pairs per loop
+	// level, so the loop nest runs allocation-free on uint and bitset
+	// results.
+	scratch []scratchLevel
+}
+
+type scratchBuf struct {
+	u []uint32
+	w []uint64
+}
+
+type scratchLevel [2]scratchBuf
+
+func (w *worker) initScratch(levels int) {
+	w.scratch = make([]scratchLevel, levels)
+}
+
+// intersectionAtBuf is intersectionAt using the worker's per-level
+// scratch buffers.
+func (w *worker) intersectionAtBuf(lvl int) set.Set {
+	ex := w.ex
+	refs := ex.perLevel[lvl]
+	cur := ex.levelSet(refs[0])
+	flip := 0
+	for _, r := range refs[1:] {
+		if cur.IsEmpty() {
+			return cur
+		}
+		sb := &w.scratch[lvl][flip]
+		cur, sb.u, sb.w = set.IntersectBuf(cur, ex.levelSet(r), ex.cfg, sb.u, sb.w)
+		flip ^= 1
+	}
+	return cur
+}
+
+// countAtBuf counts the tail-level intersection using scratch buffers.
+func (w *worker) countAtBuf(lvl int) int {
+	ex := w.ex
+	refs := ex.perLevel[lvl]
+	if len(refs) == 1 {
+		return ex.levelSet(refs[0]).Card()
+	}
+	cur := ex.levelSet(refs[0])
+	flip := 0
+	for i := 1; i < len(refs)-1; i++ {
+		if cur.IsEmpty() {
+			return 0
+		}
+		sb := &w.scratch[lvl][flip]
+		cur, sb.u, sb.w = set.IntersectBuf(cur, ex.levelSet(refs[i]), ex.cfg, sb.u, sb.w)
+		flip ^= 1
+	}
+	if cur.IsEmpty() {
+		return 0
+	}
+	return set.IntersectCountCfg(cur, ex.levelSet(refs[len(refs)-1]), ex.cfg)
+}
+
+// runParallel splits the first variable level across workers.
+func (ex *bagExec) runParallel() ([][]uint32, []float64, float64, error) {
+	nw := ex.p.opts.Parallelism
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	first := ex.intersectionAt(0)
+	if first.IsEmpty() {
+		return nil, nil, ex.op.Zero(), nil
+	}
+	if nw > first.Card() {
+		nw = first.Card()
+	}
+	if nw <= 1 || len(ex.bp.Attrs) == 1 {
+		w := &worker{ex: ex, outBuf: make([]uint32, len(ex.bp.OutAttrs)), scalar: ex.op.Zero()}
+		w.initScratch(len(ex.bp.Attrs))
+		w.levelValues(0, first, ex.scalarFactor)
+		return w.rows, w.anns, w.scalar, nil
+	}
+	vals := first.Slice()
+	chunk := (len(vals) + nw - 1) / nw
+	workers := make([]*worker, 0, nw)
+	var wg sync.WaitGroup
+	for i := 0; i < len(vals); i += chunk {
+		hi := i + chunk
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		w := &worker{ex: ex, outBuf: make([]uint32, len(ex.bp.OutAttrs)), scalar: ex.op.Zero()}
+		// Each worker needs private cursor state below level 0.
+		w = w.withPrivateCursors()
+		w.initScratch(len(ex.bp.Attrs))
+		workers = append(workers, w)
+		wg.Add(1)
+		go func(w *worker, vs []uint32) {
+			defer wg.Done()
+			w.levelValues(0, set.FromSorted(vs), w.ex.scalarFactor)
+		}(w, vals[i:hi])
+	}
+	wg.Wait()
+	var rows [][]uint32
+	var anns []float64
+	scalar := ex.op.Zero()
+	for _, w := range workers {
+		rows = append(rows, w.rows...)
+		anns = append(anns, w.anns...)
+		scalar = ex.op.Add(scalar, w.scalar)
+	}
+	return rows, anns, scalar, nil
+}
+
+// withPrivateCursors clones the execution state so a worker can descend
+// independently. Cursor node stacks are per-worker; tries are shared
+// (immutable).
+func (w *worker) withPrivateCursors() *worker {
+	old := w.ex
+	ex := &bagExec{
+		p: old.p, bp: old.bp, op: old.op, cfg: old.cfg,
+		countTail: old.countTail, scalarFactor: old.scalarFactor,
+	}
+	ex.perLevel = make([][]curRef, len(old.perLevel))
+	cmap := map[*cursor]*cursor{}
+	for _, c := range old.cursors {
+		nc := &cursor{atom: c.atom, t: c.t, bagLevel: c.bagLevel}
+		nc.nodes = make([]*trie.Node, len(c.nodes))
+		copy(nc.nodes, c.nodes)
+		nc.hints = make([]int, len(c.hints))
+		cmap[c] = nc
+		ex.cursors = append(ex.cursors, nc)
+	}
+	for lvl, refs := range old.perLevel {
+		for _, r := range refs {
+			ex.perLevel[lvl] = append(ex.perLevel[lvl], curRef{c: cmap[r.c], atomLevel: r.atomLevel})
+		}
+	}
+	return &worker{ex: ex, outBuf: w.outBuf, scalar: w.scalar}
+}
+
+// intersectionAt computes the set of candidate values at a bag level from
+// the current cursor nodes (the ∩ of Algorithm 1).
+func (ex *bagExec) intersectionAt(lvl int) set.Set {
+	refs := ex.perLevel[lvl]
+	cur := ex.levelSet(refs[0])
+	for _, r := range refs[1:] {
+		if cur.IsEmpty() {
+			return cur
+		}
+		cur = set.IntersectCfg(cur, ex.levelSet(r), ex.cfg)
+	}
+	return cur
+}
+
+func (ex *bagExec) levelSet(r curRef) set.Set {
+	n := r.c.nodes[r.atomLevel]
+	if n == nil {
+		return set.Empty()
+	}
+	return n.Set
+}
+
+// levelValues iterates the candidate values of a level and recurses.
+// ann carries the ⊗-product of annotations collected so far.
+func (w *worker) levelValues(lvl int, candidates set.Set, ann float64) {
+	ex := w.ex
+	bp := ex.bp
+	last := lvl == len(bp.Attrs)-1
+
+	// Count-only tail: |∩ sets| with SUM/COUNT multiplicity.
+	if last && ex.countTail {
+		n := w.countAtBuf(lvl)
+		if n > 0 {
+			w.emit(ex.op.Mul(ann, float64(n)))
+		}
+		return
+	}
+	// Existence tail: all remaining levels only need one witness.
+	if lvl >= bp.ExistsFrom {
+		if ex.exists(lvl) {
+			w.emit(ann)
+		}
+		return
+	}
+
+	outPos := -1
+	if bp.Out[lvl] {
+		outPos = 0
+		for i := 0; i < lvl; i++ {
+			if bp.Out[i] {
+				outPos++
+			}
+		}
+	}
+	// Fresh iteration over this level: rank hints restart at zero (values
+	// ascend only within one pass).
+	for _, r := range ex.perLevel[lvl] {
+		r.c.hints[r.atomLevel] = 0
+	}
+	// A trailing eliminated level folds in place: one ⊕-accumulator and a
+	// single emit, instead of one row per value with builder-side
+	// combining (the early-aggregation inner loop of §3.1.1).
+	foldHere := last && !bp.Out[lvl]
+	acc := ex.op.Zero()
+	folded := false
+	candidates.ForEachUntil(func(_ int, v uint32) bool {
+		if ex.p.stop != nil {
+			// Cooperative timeout: cheap flag check per value, wall
+			// clock consulted periodically.
+			w.tick++
+			if w.tick&1023 == 0 && time.Now().After(ex.p.deadline) {
+				ex.p.stop.Store(true)
+			}
+			if ex.p.stop.Load() {
+				return false
+			}
+		}
+		a := ann
+		ok := true
+		// Descend every atom participating at this level, tracking
+		// monotone rank hints; collect annotations of atoms fully bound
+		// here. v ∈ n.Set by construction (candidates ⊆ every
+		// participant), so the rank lookup almost always succeeds.
+		for _, r := range ex.perLevel[lvl] {
+			c := r.c
+			al := r.atomLevel
+			n := c.nodes[al]
+			rank, found := n.Set.RankNext(v, c.hints[al])
+			c.hints[al] = rank
+			if !found {
+				ok = false
+				break
+			}
+			if al == c.atom.LastLevel {
+				if c.atom.Annotated && !c.atom.SemijoinOnly && n.Ann != nil {
+					a = ex.op.Mul(a, n.Ann[rank])
+				}
+			} else {
+				child := n.Children[rank]
+				c.nodes[al+1] = child
+				if al+1 < len(c.hints) {
+					c.hints[al+1] = 0
+				}
+			}
+		}
+		if !ok {
+			return true
+		}
+		if outPos >= 0 {
+			w.outBuf[outPos] = v
+		}
+		if last {
+			if foldHere {
+				acc = ex.op.Add(acc, a)
+				folded = true
+			} else {
+				w.emit(a)
+			}
+			return true
+		}
+		// Count-only tail shortcut: don't materialize the last-level
+		// intersection just to recount it.
+		if lvl+1 == len(bp.Attrs)-1 && ex.countTail {
+			if n := w.countAtBuf(lvl + 1); n > 0 {
+				w.emit(ex.op.Mul(a, float64(n)))
+			}
+			return true
+		}
+		next := w.intersectionAtBuf(lvl + 1)
+		if !next.IsEmpty() {
+			w.levelValues(lvl+1, next, a)
+		}
+		return true
+	})
+	if folded {
+		w.emit(acc)
+	}
+}
+
+// countAt counts the tail-level intersection without materializing.
+func (ex *bagExec) countAt(lvl int) int {
+	refs := ex.perLevel[lvl]
+	if len(refs) == 1 {
+		return ex.levelSet(refs[0]).Card()
+	}
+	cur := ex.levelSet(refs[0])
+	for i := 1; i < len(refs)-1; i++ {
+		if cur.IsEmpty() {
+			return 0
+		}
+		cur = set.IntersectCfg(cur, ex.levelSet(refs[i]), ex.cfg)
+	}
+	if cur.IsEmpty() {
+		return 0
+	}
+	return set.IntersectCountCfg(cur, ex.levelSet(refs[len(refs)-1]), ex.cfg)
+}
+
+// exists reports whether any full binding exists from lvl on.
+func (ex *bagExec) exists(lvl int) bool {
+	candidates := ex.intersectionAt(lvl)
+	if candidates.IsEmpty() {
+		return false
+	}
+	if lvl == len(ex.bp.Attrs)-1 {
+		return true
+	}
+	found := false
+	candidates.ForEachUntil(func(_ int, v uint32) bool {
+		ok := true
+		for _, r := range ex.perLevel[lvl] {
+			if r.atomLevel+1 < len(r.c.atom.Attrs) {
+				child := r.c.nodes[r.atomLevel].Child(v)
+				if child == nil {
+					ok = false
+					break
+				}
+				r.c.nodes[r.atomLevel+1] = child
+			}
+		}
+		if ok && ex.exists(lvl+1) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// emit records one output row (or folds into the scalar when the bag has
+// no output attributes).
+func (w *worker) emit(ann float64) {
+	if len(w.ex.bp.OutAttrs) == 0 {
+		w.scalar = w.ex.op.Add(w.scalar, ann)
+		return
+	}
+	row := make([]uint32, len(w.outBuf))
+	copy(row, w.outBuf)
+	w.rows = append(w.rows, row)
+	w.anns = append(w.anns, ann)
+}
+
+// materialize folds the emitted rows into the bag's output trie,
+// combining duplicate rows with ⊕ (the early aggregation GHDs enable,
+// §3.1.1).
+func (ex *bagExec) materialize(rows [][]uint32, anns []float64, scalar float64) *trie.Trie {
+	if len(ex.bp.OutAttrs) == 0 {
+		return trie.NewScalar(scalar, ex.op)
+	}
+	b := trie.NewBuilder(len(ex.bp.OutAttrs), ex.op, ex.p.opts.layout())
+	for i, r := range rows {
+		b.AddAnn(anns[i], r...)
+	}
+	return b.Build()
+}

@@ -1,0 +1,234 @@
+// Package exec is EmptyHeaded's execution engine: it compiles parsed
+// datalog rules against GHD query plans (§3) and runs the generic
+// worst-case optimal join inside each bag with Yannakakis' algorithm
+// across bags (§3.3), over the skew-optimized trie storage (§4).
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"emptyheaded/internal/graph"
+	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/set"
+	"emptyheaded/internal/trie"
+)
+
+// DB is a named collection of relations.
+type DB struct {
+	mu   sync.RWMutex
+	rels map[string]*Relation
+	// Dict translates between original vertex identifiers and the dense
+	// codes used inside tries; selection constants in queries are
+	// expressed as original identifiers.
+	Dict *graph.Dictionary
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{rels: map[string]*Relation{}}
+}
+
+// Relation is a stored relation with lazily built trie indexes, one per
+// (column permutation, layout policy) — the paper stores "both orders" of
+// each edge relation (§2.2 "Column (Index) Order"); we generalize to any
+// permutation and build on demand.
+type Relation struct {
+	Name      string
+	Arity     int
+	Annotated bool
+	Op        semiring.Op
+
+	mu        sync.Mutex
+	canonical *trie.Trie
+	indexes   map[string]*trie.Trie
+}
+
+// AddTrie registers (or replaces) a relation stored as a trie in natural
+// column order.
+func (db *DB) AddTrie(name string, t *trie.Trie) *Relation {
+	r := &Relation{
+		Name:      name,
+		Arity:     t.Arity,
+		Annotated: t.Annotated,
+		Op:        t.Op,
+		canonical: t,
+		indexes:   map[string]*trie.Trie{},
+	}
+	db.mu.Lock()
+	db.rels[name] = r
+	db.mu.Unlock()
+	return r
+}
+
+// AddGraph registers the graph's edge relation under the given name using
+// the adjacency fast path; layout selects the storage policy (nil = the
+// set-level auto optimizer), layoutName its cache key.
+func (db *DB) AddGraph(name string, g *graph.Graph, layout trie.LayoutFunc, layoutName string) *Relation {
+	t := trie.FromAdjacency(g.Adj, layout)
+	r := db.AddTrie(name, t)
+	r.mu.Lock()
+	r.indexes[indexKey([]int{0, 1}, layoutName)] = t
+	r.mu.Unlock()
+	return r
+}
+
+// Relation looks up a relation by name.
+func (db *DB) Relation(name string) (*Relation, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// Drop removes a relation.
+func (db *DB) Drop(name string) {
+	db.mu.Lock()
+	delete(db.rels, name)
+	db.mu.Unlock()
+}
+
+// Names returns the registered relation names, sorted.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cardinality returns the tuple count of the relation.
+func (r *Relation) Cardinality() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.canonical.Cardinality()
+}
+
+// Canonical returns the natural-order trie.
+func (r *Relation) Canonical() *trie.Trie {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.canonical
+}
+
+func indexKey(perm []int, layoutName string) string {
+	var sb strings.Builder
+	for _, p := range perm {
+		fmt.Fprintf(&sb, "%d,", p)
+	}
+	sb.WriteString("/")
+	sb.WriteString(layoutName)
+	return sb.String()
+}
+
+// Index returns (building and caching if needed) the trie whose level i
+// stores column perm[i], under the given layout policy.
+func (r *Relation) Index(perm []int, layout trie.LayoutFunc, layoutName string) *trie.Trie {
+	if len(perm) != r.Arity {
+		panic(fmt.Sprintf("exec: index perm %v for arity-%d relation %s", perm, r.Arity, r.Name))
+	}
+	key := indexKey(perm, layoutName)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.indexes[key]; ok {
+		return t
+	}
+	identity := true
+	for i, p := range perm {
+		if p != i {
+			identity = false
+		}
+	}
+	var t *trie.Trie
+	if identity && layoutName == "auto" && r.canonical != nil {
+		t = r.canonical
+	} else {
+		b := trie.NewBuilder(r.Arity, r.Op, layout)
+		buf := make([]uint32, r.Arity)
+		r.canonical.ForEachTuple(func(tp []uint32, ann float64) {
+			for i, p := range perm {
+				buf[i] = tp[p]
+			}
+			if r.Annotated {
+				b.AddAnn(ann, buf...)
+			} else {
+				b.Add(buf...)
+			}
+		})
+		t = b.Build()
+	}
+	r.indexes[key] = t
+	return t
+}
+
+// Options configures query execution; the zero value is the fully
+// optimized engine. The ablation fields reproduce the "-R", "-RA", "-S"
+// and "-GHD" rows of Tables 8, 11 and 13.
+type Options struct {
+	// Layout is the storage layout policy (nil = set-level auto
+	// optimizer, §4.4); LayoutName keys the relation index cache
+	// ("auto", "uint", "bitset", "composite").
+	Layout     trie.LayoutFunc
+	LayoutName string
+	// Intersect controls intersection algorithm selection (§4.2).
+	Intersect set.Config
+	// SingleBag forces single-bag GHDs (Table 8 "-GHD").
+	SingleBag bool
+	// NoPushdown disables cross-bag selection pushdown (Table 13 "-GHD").
+	NoPushdown bool
+	// NoBagDedup disables redundant-bag elimination (Appendix B.2).
+	NoBagDedup bool
+	// NaiveRecursion disables seminaive evaluation for monotone
+	// aggregates: the full rule body is re-evaluated each round (§3.3
+	// "Naive recursion is not an acceptable solution in applications
+	// such as SSSP" — this models engines without seminaive deltas).
+	NaiveRecursion bool
+	// Parallelism bounds the worker count for the outer loop of each
+	// bag's generic join; 0 means GOMAXPROCS.
+	Parallelism int
+	// Timeout aborts query execution cooperatively after the given
+	// duration (0 = no limit); Run returns ErrTimeout. The benchmark
+	// harness uses it to reproduce the paper's "t/o" entries.
+	Timeout time.Duration
+}
+
+func (o Options) layout() trie.LayoutFunc {
+	if o.Layout == nil {
+		return trie.AutoLayout
+	}
+	return o.Layout
+}
+
+func (o Options) layoutName() string {
+	if o.LayoutName == "" {
+		return "auto"
+	}
+	return o.LayoutName
+}
+
+// Ablations used across the benchmark suite (§5.3).
+var (
+	// OptDefault is the full EmptyHeaded optimizer.
+	OptDefault = Options{}
+	// OptNoLayout ("-R") disables SIMD-friendly layout mixing: all sets
+	// stored as uint arrays.
+	OptNoLayout = Options{Layout: trie.UintLayout, LayoutName: "uint"}
+	// OptNoLayoutNoAlgo ("-RA") additionally disables intersection
+	// algorithm selection (scalar merge only).
+	OptNoLayoutNoAlgo = Options{
+		Layout: trie.UintLayout, LayoutName: "uint",
+		Intersect: set.Config{Algo: set.AlgoMerge},
+	}
+	// OptNoSIMD ("-S") keeps layouts but processes dense words
+	// bit-by-bit.
+	OptNoSIMD = Options{Intersect: set.Config{BitByBit: true}}
+	// OptNoGHD forces single-bag plans (the LogicBlox-style plan of
+	// Fig. 3b).
+	OptNoGHD = Options{SingleBag: true}
+)

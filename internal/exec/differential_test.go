@@ -1,0 +1,316 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"emptyheaded/internal/datalog"
+	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/trie"
+)
+
+// naiveEval evaluates a conjunctive rule by brute-force nested loops over
+// the cross product of candidate bindings, with semiring aggregation —
+// the specification our engine is tested against.
+type naiveRel struct {
+	arity  int
+	tuples [][]uint32
+	anns   []float64
+	op     semiring.Op
+	annot  bool
+}
+
+func naiveEval(rels map[string]*naiveRel, rule *datalog.Rule) (map[string]float64, semiring.Op) {
+	vars := rule.Vars()
+	idx := map[string]int{}
+	for i, v := range vars {
+		idx[v] = i
+	}
+	op := semiring.Sum
+	aggVar := "*"
+	if rule.Assign != nil {
+		if agg := datalog.FindAgg(rule.Assign.Expr); agg != nil {
+			op, _ = semiring.ParseOp(agg.Op)
+			aggVar = agg.Arg
+		}
+	}
+	type headKeyed struct {
+		ann float64
+		set bool
+	}
+	groups := map[string]*headKeyed{}
+	// For distinct-variable aggregate semantics (COUNT(x)), dedup on
+	// (head vars, agg var) bindings.
+	seen := map[string]bool{}
+
+	binding := make([]uint32, len(vars))
+	var rec func(ai int, ann float64)
+	rec = func(ai int, ann float64) {
+		if ai == len(rule.Atoms) {
+			var hk strings.Builder
+			for _, v := range rule.Head.Vars {
+				fmt.Fprintf(&hk, "%d,", binding[idx[v]])
+			}
+			key := hk.String()
+			if aggVar != "*" {
+				dk := key + "|" + fmt.Sprint(binding[idx[aggVar]])
+				if seen[dk] {
+					return
+				}
+				seen[dk] = true
+			}
+			g := groups[key]
+			if g == nil {
+				g = &headKeyed{ann: op.Zero()}
+				groups[key] = g
+			}
+			g.ann = op.Add(g.ann, ann)
+			g.set = true
+			return
+		}
+		atom := rule.Atoms[ai]
+		rel := rels[atom.Pred]
+		for ti, tp := range rel.tuples {
+			ok := true
+			saved := map[int]uint32{}
+			bound := map[int]bool{}
+			for pos, arg := range atom.Args {
+				if arg.Const != nil {
+					if tp[pos] != uint32(arg.Const.Num) {
+						ok = false
+						break
+					}
+					continue
+				}
+				vi := idx[arg.Var]
+				if bnd, was := varBound(binding, vi, ai, rule, idx); was {
+					if bnd != tp[pos] {
+						ok = false
+						break
+					}
+				} else if prev, dup := saved[vi]; dup {
+					if prev != tp[pos] {
+						ok = false
+						break
+					}
+				} else {
+					saved[vi] = tp[pos]
+					bound[vi] = true
+				}
+			}
+			_ = ti
+			if !ok {
+				continue
+			}
+			for vi, val := range saved {
+				binding[vi] = val
+			}
+			a := ann
+			if rel.annot {
+				a = op.Mul(a, rel.anns[indexOfTuple(rel, tp)])
+			}
+			markBound(ai, saved)
+			rec(ai+1, a)
+			unmarkBound(ai, saved)
+		}
+	}
+	boundState = map[int]bool{}
+	rec(0, op.One())
+	out := map[string]float64{}
+	for k, g := range groups {
+		if g.set {
+			out[k] = g.ann
+		}
+	}
+	return out, op
+}
+
+// Variable binding bookkeeping for the naive evaluator: a variable is
+// bound once any earlier atom (or earlier position) fixed it.
+var boundState map[int]bool
+
+func varBound(binding []uint32, vi, ai int, rule *datalog.Rule, idx map[string]int) (uint32, bool) {
+	if boundState[vi] {
+		return binding[vi], true
+	}
+	return 0, false
+}
+
+func markBound(ai int, saved map[int]uint32) {
+	for vi := range saved {
+		boundState[vi] = true
+	}
+}
+
+func unmarkBound(ai int, saved map[int]uint32) {
+	for vi := range saved {
+		delete(boundState, vi)
+	}
+}
+
+func indexOfTuple(r *naiveRel, tp []uint32) int {
+	for i, t := range r.tuples {
+		same := true
+		for k := range t {
+			if t[k] != tp[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return i
+		}
+	}
+	return -1
+}
+
+// randomRel builds a random relation with optional annotations.
+func randomRel(rng *rand.Rand, arity, maxCard int, domain uint32, annotated bool, op semiring.Op) *naiveRel {
+	// Cap at the universe size so the rejection loop terminates.
+	universe := 1
+	for i := 0; i < arity; i++ {
+		universe *= int(domain)
+	}
+	if maxCard > universe {
+		maxCard = universe
+	}
+	n := 1 + rng.Intn(maxCard)
+	seen := map[string]bool{}
+	r := &naiveRel{arity: arity, op: op, annot: annotated}
+	for len(r.tuples) < n {
+		tp := make([]uint32, arity)
+		var key strings.Builder
+		for i := range tp {
+			tp[i] = uint32(rng.Intn(int(domain)))
+			fmt.Fprintf(&key, "%d,", tp[i])
+		}
+		if seen[key.String()] {
+			continue
+		}
+		seen[key.String()] = true
+		r.tuples = append(r.tuples, tp)
+		if annotated {
+			r.anns = append(r.anns, float64(1+rng.Intn(5)))
+		}
+	}
+	return r
+}
+
+func registerNaive(db *DB, name string, r *naiveRel) {
+	op := semiring.None
+	if r.annot {
+		op = r.op
+	}
+	b := trie.NewBuilder(r.arity, op, nil)
+	for i, tp := range r.tuples {
+		if r.annot {
+			b.AddAnn(r.anns[i], tp...)
+		} else {
+			b.Add(tp...)
+		}
+	}
+	db.AddTrie(name, b.Build())
+}
+
+// TestDifferentialRandomQueries generates random conjunctive queries over
+// random relations and checks the engine (under several option sets)
+// against the brute-force evaluator — the strongest end-to-end invariant
+// in the suite.
+func TestDifferentialRandomQueries(t *testing.T) {
+	shapes := []string{
+		`Q(a) :- R(a,b).`,
+		`Q(a,c) :- R(a,b),S(b,c).`,
+		`Q(a;n:long) :- R(a,b),S(b,c); n=<<COUNT(*)>>.`,
+		`Q(;n:long) :- R(a,b),S(b,c),R(a,c); n=<<COUNT(*)>>.`,
+		`Q(a;n:long) :- R(a,b),S(a,c); n=<<COUNT(b)>>.`,
+		`Q(b;s:float) :- R(a,b),W(a); s=<<SUM(a)>>.`,
+		`Q(b;s:float) :- R(a,b),W(a); s=<<MIN(a)>>.`,
+		`Q(a,d) :- R(a,b),S(b,c),T(c,d).`,
+		`Q(;n:long) :- R(a,b),S(b,c),T(c,d),R(a,d); n=<<COUNT(*)>>.`,
+		`Q(a) :- R(a,b),S(b,7).`,
+	}
+	optionSets := map[string]Options{
+		"default": OptDefault,
+		"-RA":     OptNoLayoutNoAlgo,
+		"-GHD":    OptNoGHD,
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		shape := shapes[trial%len(shapes)]
+		rule, err := datalog.ParseRule(shape)
+		if err != nil {
+			t.Fatalf("shape %q: %v", shape, err)
+		}
+		op := semiring.Sum
+		if rule.Assign != nil {
+			if agg := datalog.FindAgg(rule.Assign.Expr); agg != nil {
+				op, _ = semiring.ParseOp(agg.Op)
+			}
+		}
+		rels := map[string]*naiveRel{}
+		for _, a := range rule.Atoms {
+			if _, ok := rels[a.Pred]; ok {
+				continue
+			}
+			annotated := a.Pred == "W"
+			arity := len(a.Args)
+			rels[a.Pred] = randomRel(rng, arity, 60, 12, annotated, op)
+		}
+		want, wop := naiveEval(rels, rule)
+		for oname, opts := range optionSets {
+			db := NewDB()
+			for n, r := range rels {
+				registerNaive(db, n, r)
+			}
+			prog := &datalog.Program{Rules: []*datalog.Rule{rule}}
+			res, err := RunProgram(db, prog, opts)
+			if err != nil {
+				t.Fatalf("trial %d %s shape %q: %v", trial, oname, shape, err)
+			}
+			got := map[string]float64{}
+			if res.Trie.Arity == 0 {
+				if len(rule.Head.Vars) == 0 {
+					key := ""
+					if res.Scalar() != wop.Zero() || len(want) > 0 {
+						got[key] = res.Scalar()
+					}
+				}
+			} else {
+				res.ForEach(func(tp []uint32, ann float64) {
+					var sb strings.Builder
+					for _, v := range tp {
+						fmt.Fprintf(&sb, "%d,", v)
+					}
+					got[sb.String()] = ann
+				})
+			}
+			// Un-annotated listing queries: compare tuple sets only.
+			if rule.Assign == nil {
+				if len(got) != len(want) {
+					t.Fatalf("trial %d %s shape %q: card %d want %d",
+						trial, oname, shape, len(got), len(want))
+				}
+				for k := range want {
+					if _, ok := got[k]; !ok {
+						t.Fatalf("trial %d %s shape %q: missing %v", trial, oname, shape, k)
+					}
+				}
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s shape %q: groups %d want %d\n got=%v\nwant=%v",
+					trial, oname, shape, len(got), len(want), got, want)
+			}
+			for k, w := range want {
+				g, ok := got[k]
+				if !ok || math.Abs(g-w) > 1e-6 {
+					t.Fatalf("trial %d %s shape %q key %q: got %v want %v",
+						trial, oname, shape, k, g, w)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the physical plan as the loop nest the paper's code
+// generator would emit (Figure 1 "Generated Code"): per bag, one loop per
+// attribute with the participating set intersections, plus the Yannakakis
+// passes across bags.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "-- query: %s\n", p.Rule)
+	fmt.Fprintf(&sb, "-- GHD (width %.2f, %d bag(s)):\n", p.GHD.Width, p.GHD.Bags)
+	for _, line := range strings.Split(strings.TrimRight(p.GHD.String(), "\n"), "\n") {
+		fmt.Fprintf(&sb, "--   %s\n", line)
+	}
+	fmt.Fprintf(&sb, "-- attribute order: %s\n", strings.Join(p.AttrOrder, ","))
+	var emitBag func(bp *BagPlan)
+	emitBag = func(bp *BagPlan) {
+		for _, c := range bp.Children {
+			emitBag(c)
+		}
+		fmt.Fprintf(&sb, "bag %d", bp.ID)
+		if len(bp.OutAttrs) > 0 {
+			fmt.Fprintf(&sb, " -> @bag%d(%s)", bp.ID, strings.Join(bp.OutAttrs, ","))
+		} else {
+			fmt.Fprintf(&sb, " -> scalar")
+		}
+		if bp.DedupOf >= 0 {
+			fmt.Fprintf(&sb, "  // identical to bag %d, result reused (App. B.2)\n", bp.DedupOf)
+			return
+		}
+		sb.WriteString(":\n")
+		indent := "  "
+		// Selection pre-descent.
+		for _, a := range bp.Atoms {
+			for lvl := 0; lvl < len(a.Attrs); lvl++ {
+				if c, ok := a.Consts[lvl]; ok {
+					fmt.Fprintf(&sb, "%s%s := %s[%d]  // selection\n", indent, a.Rel, a.Rel, c)
+				}
+			}
+		}
+		for lvl, attr := range bp.Attrs {
+			var parts []string
+			for _, a := range bp.Atoms {
+				for al, v := range a.Attrs {
+					if v != attr {
+						continue
+					}
+					path := a.Rel
+					if al > 0 {
+						var bound []string
+						for k := 0; k < al; k++ {
+							if a.Attrs[k] == "" {
+								bound = append(bound, "σ")
+							} else {
+								bound = append(bound, a.Attrs[k])
+							}
+						}
+						path = fmt.Sprintf("%s[%s]", a.Rel, strings.Join(bound, ","))
+					}
+					parts = append(parts, fmt.Sprintf("π%s %s", attr, path))
+				}
+			}
+			sx := fmt.Sprintf("s%s := %s", attr, strings.Join(parts, " ∩ "))
+			if lvl >= bp.ExistsFrom {
+				sx += "  // existence check only"
+			}
+			fmt.Fprintf(&sb, "%s%s\n", indent, sx)
+			verb := "for"
+			if lvl == len(bp.Attrs)-1 && !bp.Out[lvl] {
+				verb = "aggregate over"
+			}
+			fmt.Fprintf(&sb, "%s%s %s in s%s:\n", indent, verb, attr, attr)
+			indent += "  "
+		}
+		if len(bp.OutAttrs) > 0 {
+			fmt.Fprintf(&sb, "%semit (%s) with ⊕-combined annotation\n", indent, strings.Join(bp.OutAttrs, ","))
+		} else {
+			fmt.Fprintf(&sb, "%sfold annotation into scalar\n", indent)
+		}
+	}
+	emitBag(p.Root)
+	if p.Assembly != nil {
+		sb.WriteString("-- final assembly join (replaces top-down pass):\n")
+		var rels []string
+		for _, a := range p.Assembly.Atoms {
+			rels = append(rels, a.Rel)
+		}
+		fmt.Fprintf(&sb, "join %s -> %s(%s)\n", strings.Join(rels, " ⋈ "),
+			p.Rule.Head.Name, strings.Join(p.Assembly.OutAttrs, ","))
+	}
+	return sb.String()
+}

@@ -1,0 +1,524 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"emptyheaded/internal/datalog"
+	"emptyheaded/internal/ghd"
+	"emptyheaded/internal/hypergraph"
+	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/trie"
+)
+
+// Plan is a compiled physical plan for one rule.
+type Plan struct {
+	Rule *datalog.Rule
+	GHD  *ghd.GHD
+	// AttrOrder is the global attribute order (§3.2).
+	AttrOrder []string
+	Root      *BagPlan
+	// Agg describes the rule's aggregation (zero value when the head is
+	// un-annotated).
+	Agg AggInfo
+	// Assembly is non-nil when head variables span multiple bags: a final
+	// join of the materialized bag results replaces the classical
+	// top-down Yannakakis pass.
+	Assembly *BagPlan
+	opts     Options
+	db       *DB
+
+	// Cooperative timeout state (set by Run when Options.Timeout > 0).
+	deadline time.Time
+	stop     *atomic.Bool
+}
+
+// AggInfo captures the semiring aggregation of a rule.
+type AggInfo struct {
+	Present bool
+	Op      semiring.Op
+	// Var is the aggregate argument: a body variable or "*" for
+	// per-tuple multiplicity (COUNT(*)).
+	Var string
+	// Expr is the full annotation expression (may wrap the aggregate in
+	// arithmetic, e.g. 0.15+0.85*<<SUM(z)>>), nil when the rule merely
+	// assigns a constant expression.
+	Expr datalog.Expr
+}
+
+// AtomRef binds one body atom (or child bag result) to a trie index.
+type AtomRef struct {
+	// SemijoinOnly suppresses annotation collection: in spanning
+	// aggregate plans child results restrict their parent bag but their
+	// semiring values are multiplied exactly once, in the assembly join.
+	SemijoinOnly bool
+	// Rel is the relation name ("@bag<i>" for child results).
+	Rel string
+	// Attrs are the global attribute names per trie level, in index
+	// order; constant positions use the synthetic name "".
+	Attrs []string
+	// Perm maps trie level → original column of the relation.
+	Perm []int
+	// Consts maps trie level → the dictionary-encoded constant bound at
+	// that level (selection constants, §B.1).
+	Consts map[int]uint32
+	// Annotated relations contribute their annotation (⊗) when fully
+	// bound.
+	Annotated bool
+	Op        semiring.Op
+	// LastLevel is the deepest non-constant level (where the atom's
+	// annotation is collected); -1 when the atom is all constants.
+	LastLevel int
+
+	child *BagPlan // non-nil for "@bag" atoms
+}
+
+// BagPlan is the physical plan of one GHD bag: a Generic-Join loop nest.
+type BagPlan struct {
+	ID int
+	// Attrs is the loop-nest order: the bag's variables ordered by the
+	// global attribute order.
+	Attrs []string
+	// Out marks which levels are output (materialized) vs aggregated
+	// away.
+	Out []bool
+	// OutAttrs lists the output attributes in level order.
+	OutAttrs []string
+	// Atoms participate in the join; children results are included as
+	// "@bag" atoms.
+	Atoms []*AtomRef
+	// Children are executed first (bottom-up Yannakakis).
+	Children []*BagPlan
+	// AggVarLevel is the level of the aggregate variable (-1 when the
+	// aggregate is "*" or absent from this bag).
+	AggVarLevel int
+	// ExistsFrom marks the first level from which all remaining levels
+	// only need an existence check (distinct-semantics aggregation,
+	// e.g. COUNT(x) over Edge(x,y)); len(Attrs) when none.
+	ExistsFrom int
+	// DedupOf points at an earlier equivalent bag whose result this bag
+	// reuses (Appendix B.2); -1 otherwise.
+	DedupOf int
+
+	signature string
+	// result caches the materialized output during execution.
+	result *trie.Trie
+}
+
+// Compile builds the physical plan for a parsed rule.
+func Compile(db *DB, rule *datalog.Rule, opts Options) (*Plan, error) {
+	// 1. Hypergraph: one edge per atom over its variables; atoms with
+	// constants become selection edges.
+	var edges []hypergraph.Edge
+	var selEdges []int
+	selectedVars := map[string]bool{}
+	for i, atom := range rule.Atoms {
+		rel, ok := db.Relation(atom.Pred)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown relation %s", atom.Pred)
+		}
+		if len(atom.Args) != rel.Arity {
+			return nil, fmt.Errorf("exec: %s has arity %d, used with %d args",
+				atom.Pred, rel.Arity, len(atom.Args))
+		}
+		var vars []string
+		hasConst := false
+		seen := map[string]bool{}
+		for _, arg := range atom.Args {
+			if arg.Var != "" {
+				if seen[arg.Var] {
+					return nil, fmt.Errorf("exec: repeated variable %s in one atom is unsupported", arg.Var)
+				}
+				seen[arg.Var] = true
+				vars = append(vars, arg.Var)
+			} else {
+				hasConst = true
+			}
+		}
+		edges = append(edges, hypergraph.Edge{
+			Name: fmt.Sprintf("%s#%d", atom.Pred, i),
+			Rel:  atom.Pred,
+			Vars: vars,
+			Size: float64(rel.Cardinality()),
+		})
+		if hasConst {
+			selEdges = append(selEdges, i)
+			for _, v := range vars {
+				selectedVars[v] = true
+			}
+		}
+	}
+	h := hypergraph.New(edges)
+
+	// 2. GHD.
+	g := ghd.Decompose(h, ghd.Options{
+		SingleBag:      opts.SingleBag,
+		SelectionEdges: selEdges,
+		NoPushdown:     opts.NoPushdown,
+	})
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: optimizer produced invalid GHD: %w", err)
+	}
+
+	// 3. Global attribute order (§3.2): pre-order GHD traversal,
+	// selection-bound variables first within each bag (App. B.1).
+	order := g.AttributeOrder(selectedVars)
+
+	p := &Plan{Rule: rule, GHD: g, AttrOrder: order, opts: opts, db: db}
+
+	// 4. Aggregation info.
+	if rule.Assign != nil {
+		p.Agg.Present = true
+		p.Agg.Expr = rule.Assign.Expr
+		if agg := datalog.FindAgg(rule.Assign.Expr); agg != nil {
+			op, err := semiring.ParseOp(agg.Op)
+			if err != nil {
+				return nil, err
+			}
+			p.Agg.Op = op
+			p.Agg.Var = agg.Arg
+		} else {
+			// Pure expression (e.g. y=1): annotate each head tuple.
+			p.Agg.Op = semiring.Sum
+			p.Agg.Var = ""
+		}
+	}
+
+	// 5. Bag plans, bottom-up.
+	headVars := map[string]bool{}
+	for _, v := range rule.Head.Vars {
+		headVars[v] = true
+	}
+	// Spanning aggregates: head variables outside the root bag mean the
+	// FAQ-style fold up the tree cannot produce the grouped result
+	// directly (matrix multiplication C(i,k) over bags A(i,j), B(j,k) is
+	// the canonical case). Bags then keep their join keys, children join
+	// as semijoins, and the final assembly performs the ⊗/⊕ aggregation.
+	spanning := false
+	if p.Agg.Present {
+		rootVars := map[string]bool{}
+		for _, v := range g.Root.Vars {
+			rootVars[v] = true
+		}
+		for _, v := range rule.Head.Vars {
+			if !rootVars[v] {
+				spanning = true
+			}
+		}
+	}
+	nextID := 0
+	sigs := map[string]int{}
+	var build func(b *ghd.Bag, parent *ghd.Bag) (*BagPlan, error)
+	build = func(b *ghd.Bag, parent *ghd.Bag) (*BagPlan, error) {
+		bp := &BagPlan{ID: nextID, DedupOf: -1}
+		nextID++
+		// Output attrs: head vars in χ, plus vars shared with the parent.
+		// Listing queries (no aggregation) additionally keep variables
+		// shared with children: the final assembly join needs those join
+		// keys, whereas aggregate queries fold children into annotations.
+		need := map[string]bool{}
+		for _, v := range b.Vars {
+			if headVars[v] {
+				need[v] = true
+			}
+			if parent != nil && bagHasVar(parent, v) {
+				need[v] = true
+			}
+			if rule.Assign == nil || spanning {
+				for _, cb := range b.Children {
+					if bagHasVar(cb, v) {
+						need[v] = true
+					}
+				}
+			}
+		}
+		// Loop-nest order: bag vars sorted by global attribute order.
+		bp.Attrs = sortByOrder(b.Vars, order)
+		for _, v := range bp.Attrs {
+			bp.Out = append(bp.Out, need[v])
+			if need[v] {
+				bp.OutAttrs = append(bp.OutAttrs, v)
+			}
+		}
+		// Atoms.
+		for _, ei := range b.Edges {
+			ar, err := p.atomRef(rule.Atoms[ei], bp.Attrs)
+			if err != nil {
+				return nil, err
+			}
+			bp.Atoms = append(bp.Atoms, ar)
+		}
+		// Children first; their results join as "@bag" atoms.
+		for _, cb := range b.Children {
+			cp, err := build(cb, b)
+			if err != nil {
+				return nil, err
+			}
+			bp.Children = append(bp.Children, cp)
+			ca := childAtom(cp)
+			ca.SemijoinOnly = spanning
+			bp.Atoms = append(bp.Atoms, ca)
+		}
+		// Redundant-bag elimination (App. B.2).
+		bp.signature = g.EquivalentSignature(b)
+		if !opts.NoBagDedup {
+			if prev, ok := sigs[bp.signature]; ok {
+				bp.DedupOf = prev
+			} else {
+				sigs[bp.signature] = bp.ID
+			}
+		}
+		p.finishLevels(bp)
+		return bp, nil
+	}
+	root, err := build(g.Root, nil)
+	if err != nil {
+		return nil, err
+	}
+	p.Root = root
+
+	// 6. Top-down pass / final assembly: needed unless the root bag
+	// produces exactly the head attributes (App. B.2 "we can also
+	// eliminate the top-down pass if all the attributes appearing in the
+	// result also appear in the root node"). Multi-bag listings whose
+	// root carries extra join keys also assemble (projecting the keys
+	// away with set semantics), as do spanning aggregates (performing
+	// the grouped ⊗/⊕ fold over the bag results).
+	if (!p.Agg.Present || spanning) && !sameAttrSet(root.OutAttrs, rule.Head.Vars) {
+		p.Assembly = p.assemblyPlan(root, rule.Head.Vars, order, spanning)
+	}
+	return p, nil
+}
+
+func sameAttrSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[string]bool{}
+	for _, v := range a {
+		m[v] = true
+	}
+	for _, v := range b {
+		if !m[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func bagHasVar(b *ghd.Bag, v string) bool {
+	for _, x := range b.Vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortByOrder(vars []string, order []string) []string {
+	pos := map[string]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	out := append([]string(nil), vars...)
+	sort.Slice(out, func(i, j int) bool { return pos[out[i]] < pos[out[j]] })
+	return out
+}
+
+// atomRef builds the index binding for one body atom under the bag's
+// attribute order: constant columns first (pre-descended, App. B.1
+// "pushing down selections within a node"), then variable columns in
+// loop-nest order.
+func (p *Plan) atomRef(atom *datalog.Atom, bagAttrs []string) (*AtomRef, error) {
+	rel, _ := p.db.Relation(atom.Pred)
+	pos := map[string]int{}
+	for i, v := range bagAttrs {
+		pos[v] = i
+	}
+	type col struct {
+		orig    int
+		v       string
+		c       *datalog.Const
+		sortKey int
+	}
+	var cols []col
+	for i, arg := range atom.Args {
+		cl := col{orig: i, v: arg.Var, c: arg.Const}
+		if arg.Const != nil {
+			cl.sortKey = -1 // constants first
+		} else {
+			k, ok := pos[arg.Var]
+			if !ok {
+				return nil, fmt.Errorf("exec: atom %s var %s outside bag attrs %v",
+					atom.Pred, arg.Var, bagAttrs)
+			}
+			cl.sortKey = k
+		}
+		cols = append(cols, cl)
+	}
+	sort.SliceStable(cols, func(i, j int) bool { return cols[i].sortKey < cols[j].sortKey })
+	ar := &AtomRef{
+		Rel:       atom.Pred,
+		Annotated: rel.Annotated,
+		Op:        rel.Op,
+		Consts:    map[int]uint32{},
+		LastLevel: -1,
+	}
+	for lvl, cl := range cols {
+		ar.Perm = append(ar.Perm, cl.orig)
+		if cl.c != nil {
+			code, err := p.encodeConst(cl.c)
+			if err != nil {
+				return nil, err
+			}
+			ar.Attrs = append(ar.Attrs, "")
+			ar.Consts[lvl] = code
+		} else {
+			ar.Attrs = append(ar.Attrs, cl.v)
+			ar.LastLevel = lvl
+		}
+	}
+	return ar, nil
+}
+
+// encodeConst maps a query constant to its dictionary code. String
+// constants name original vertex identifiers; numbers are used directly
+// when no dictionary is attached.
+func (p *Plan) encodeConst(c *datalog.Const) (uint32, error) {
+	var orig int64
+	if c.IsString {
+		var v int64
+		if _, err := fmt.Sscanf(c.Str, "%d", &v); err != nil {
+			return 0, fmt.Errorf("exec: non-numeric constant %q", c.Str)
+		}
+		orig = v
+	} else {
+		orig = int64(c.Num)
+	}
+	if p.db.Dict != nil {
+		code, ok := p.db.Dict.Lookup(orig)
+		if !ok {
+			return 0, fmt.Errorf("exec: constant %d not in dictionary", orig)
+		}
+		return code, nil
+	}
+	return uint32(orig), nil
+}
+
+// childAtom wraps a materialized child bag as an atom of its parent.
+func childAtom(cp *BagPlan) *AtomRef {
+	ar := &AtomRef{
+		Rel:       fmt.Sprintf("@bag%d", cp.ID),
+		Annotated: true, // child results always carry a semiring value
+		Consts:    map[int]uint32{},
+		LastLevel: len(cp.OutAttrs) - 1,
+		child:     cp,
+	}
+	for i, v := range cp.OutAttrs {
+		ar.Attrs = append(ar.Attrs, v)
+		ar.Perm = append(ar.Perm, i)
+	}
+	return ar
+}
+
+// finishLevels computes AggVarLevel and ExistsFrom for a bag.
+func (p *Plan) finishLevels(bp *BagPlan) {
+	bp.AggVarLevel = -1
+	bp.ExistsFrom = len(bp.Attrs)
+	if !p.Agg.Present {
+		return
+	}
+	for i, v := range bp.Attrs {
+		if p.Agg.Var != "" && p.Agg.Var != "*" && v == p.Agg.Var {
+			bp.AggVarLevel = i
+		}
+	}
+	if p.Agg.Var == "*" || p.Agg.Var == "" {
+		return // every full match contributes (multiplicity semantics)
+	}
+	// Distinct semantics (e.g. COUNT(x)): eliminated levels beyond the
+	// aggregate variable only witness existence. In bags that do not
+	// contain the aggregate variable at all (children of the bag that
+	// does), every trailing eliminated level is existence-only —
+	// otherwise their multiplicities would leak into the parent's fold.
+	from := len(bp.Attrs)
+	for lvl := len(bp.Attrs) - 1; lvl >= 0; lvl-- {
+		if bp.Out[lvl] {
+			break
+		}
+		from = lvl
+	}
+	if bp.AggVarLevel >= 0 && bp.AggVarLevel+1 > from {
+		from = bp.AggVarLevel + 1
+	}
+	for _, a := range bp.Atoms {
+		if a.Annotated && a.LastLevel >= 0 && levelOf(bp, a, a.LastLevel) >= from {
+			return // an annotation is collected in the exists region
+		}
+	}
+	bp.ExistsFrom = from
+}
+
+// levelOf maps an atom trie level to its bag loop-nest level.
+func levelOf(bp *BagPlan, a *AtomRef, atomLevel int) int {
+	v := a.Attrs[atomLevel]
+	if v == "" {
+		return -1
+	}
+	for i, x := range bp.Attrs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// assemblyPlan joins the materialized bag results to produce the full
+// output listing (replacing the classical top-down pass; see DESIGN.md).
+// The loop nest iterates every attribute any bag materialized — join keys
+// included — and projects the output to the head variables.
+func (p *Plan) assemblyPlan(root *BagPlan, headVars []string, order []string, spanning bool) *BagPlan {
+	var bags []*BagPlan
+	var collect func(bp *BagPlan)
+	collect = func(bp *BagPlan) {
+		bags = append(bags, bp)
+		for _, c := range bp.Children {
+			collect(c)
+		}
+	}
+	collect(root)
+	isHead := map[string]bool{}
+	for _, v := range headVars {
+		isHead[v] = true
+	}
+	attrSet := map[string]bool{}
+	var all []string
+	for _, bp := range bags {
+		for _, v := range bp.OutAttrs {
+			if !attrSet[v] {
+				attrSet[v] = true
+				all = append(all, v)
+			}
+		}
+	}
+	attrs := sortByOrder(all, order)
+	ap := &BagPlan{ID: -1, Attrs: attrs, DedupOf: -1, AggVarLevel: -1}
+	ap.ExistsFrom = len(attrs)
+	for _, v := range attrs {
+		out := isHead[v]
+		ap.Out = append(ap.Out, out)
+		if out {
+			ap.OutAttrs = append(ap.OutAttrs, v)
+		}
+	}
+	for _, bp := range bags {
+		if len(bp.OutAttrs) == 0 && !spanning {
+			continue // listing: scalar bags restrict nothing
+		}
+		ap.Atoms = append(ap.Atoms, childAtom(bp))
+	}
+	p.finishLevels(ap)
+	return ap
+}

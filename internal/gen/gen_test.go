@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestPowerLawBasics(t *testing.T) {
+	g := PowerLaw(1000, 5000, 2.3, 1)
+	if g.N != 1000 {
+		t.Fatalf("N=%d", g.N)
+	}
+	m := g.Edges()
+	if m < 9000 || m > 10000 { // 5000 undirected ≈ 10000 directed
+		t.Fatalf("directed edges=%d want ≈10000", m)
+	}
+	// Determinism.
+	g2 := PowerLaw(1000, 5000, 2.3, 1)
+	if g2.Edges() != m {
+		t.Fatal("not deterministic")
+	}
+	// Heavier-tailed exponent → higher max degree.
+	heavy := PowerLaw(1000, 5000, 1.8, 1)
+	light := PowerLaw(1000, 5000, 3.0, 1)
+	if heavy.Degree(int(heavy.MaxDegreeNode())) <= light.Degree(int(light.MaxDegreeNode())) {
+		t.Fatalf("exponent 1.8 max degree %d should exceed exponent 3.0 max degree %d",
+			heavy.Degree(int(heavy.MaxDegreeNode())), light.Degree(int(light.MaxDegreeNode())))
+	}
+}
+
+func TestPowerLawSkewPositive(t *testing.T) {
+	// Power-law graphs have mode ≪ mean, so Pearson's first skewness
+	// coefficient (the paper's metric, §4 fn. 4) must be positive.
+	for _, exp := range []float64{1.7, 2.3, 3.0} {
+		g := PowerLaw(5000, 40000, exp, 7)
+		if s := g.DensitySkew(); s <= 0 {
+			t.Fatalf("exponent %v: skew=%v want >0", exp, s)
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(500, 2000, 3)
+	if g.N != 500 {
+		t.Fatalf("N=%d", g.N)
+	}
+	if m := g.Edges(); m < 3900 || m > 4000 {
+		t.Fatalf("edges=%d", m)
+	}
+}
+
+func TestUniformSet(t *testing.T) {
+	s := UniformSet(1000, 100000, 5)
+	if len(s) != 1000 {
+		t.Fatalf("card=%d", len(s))
+	}
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+		t.Fatal("not sorted")
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			t.Fatal("duplicates")
+		}
+	}
+	// Card capped at span.
+	s2 := UniformSet(100, 10, 5)
+	if len(s2) != 10 {
+		t.Fatalf("capped card=%d want 10", len(s2))
+	}
+}
+
+func TestDenseSparseSet(t *testing.T) {
+	s := DenseSparseSet(256, 100, 1000000, 9)
+	if len(s) != 356 {
+		t.Fatalf("card=%d", len(s))
+	}
+	// Dense prefix intact.
+	for i := 0; i < 256; i++ {
+		if s[i] != uint32(i) {
+			t.Fatalf("dense region broken at %d: %d", i, s[i])
+		}
+	}
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+		t.Fatal("not sorted")
+	}
+}

@@ -1,0 +1,293 @@
+package ghd
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"emptyheaded/internal/hypergraph"
+)
+
+func edge(name, rel string, size float64, vars ...string) hypergraph.Edge {
+	return hypergraph.Edge{Name: name, Rel: rel, Vars: vars, Size: size}
+}
+
+func triangleH() *hypergraph.Hypergraph {
+	return hypergraph.New([]hypergraph.Edge{
+		edge("R#0", "R", 100, "x", "y"),
+		edge("S#1", "S", 100, "y", "z"),
+		edge("T#2", "T", 100, "x", "z"),
+	})
+}
+
+func barbellH() *hypergraph.Hypergraph {
+	return hypergraph.New([]hypergraph.Edge{
+		edge("R#0", "R", 100, "x", "y"),
+		edge("S#1", "S", 100, "y", "z"),
+		edge("T#2", "T", 100, "x", "z"),
+		edge("U#3", "U", 100, "x", "x2"),
+		edge("R2#4", "R", 100, "x2", "y2"),
+		edge("S2#5", "S", 100, "y2", "z2"),
+		edge("T2#6", "T", 100, "x2", "z2"),
+	})
+}
+
+func lollipopH() *hypergraph.Hypergraph {
+	return hypergraph.New([]hypergraph.Edge{
+		edge("R#0", "R", 100, "x", "y"),
+		edge("S#1", "S", 100, "y", "z"),
+		edge("T#2", "T", 100, "x", "z"),
+		edge("U#3", "U", 100, "x", "w"),
+	})
+}
+
+func fourCliqueH() *hypergraph.Hypergraph {
+	return hypergraph.New([]hypergraph.Edge{
+		edge("R#0", "R", 100, "x", "y"),
+		edge("S#1", "S", 100, "y", "z"),
+		edge("T#2", "T", 100, "x", "z"),
+		edge("U#3", "U", 100, "x", "w"),
+		edge("V#4", "V", 100, "y", "w"),
+		edge("Q#5", "Q", 100, "z", "w"),
+	})
+}
+
+func TestTriangleGHD(t *testing.T) {
+	g := Decompose(triangleH(), Options{})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Bags != 1 {
+		t.Fatalf("triangle bags=%d want 1\n%s", g.Bags, g)
+	}
+	if math.Abs(g.Width-1.5) > 1e-6 {
+		t.Fatalf("triangle width=%v want 1.5", g.Width)
+	}
+}
+
+func TestFourCliqueGHD(t *testing.T) {
+	// "GHD optimizations do not matter on the K4 query as the optimal
+	// query plan is a single node GHD" (§5.3.1).
+	g := Decompose(fourCliqueH(), Options{})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Bags != 1 {
+		t.Fatalf("4-clique bags=%d want 1\n%s", g.Bags, g)
+	}
+	if math.Abs(g.Width-2.0) > 1e-6 {
+		t.Fatalf("4-clique width=%v want 2", g.Width)
+	}
+}
+
+func TestLollipopGHD(t *testing.T) {
+	g := Decompose(lollipopH(), Options{})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Bags != 2 {
+		t.Fatalf("lollipop bags=%d want 2\n%s", g.Bags, g)
+	}
+	if math.Abs(g.Width-1.5) > 1e-6 {
+		t.Fatalf("lollipop width=%v want 1.5", g.Width)
+	}
+}
+
+func TestBarbellGHD(t *testing.T) {
+	// Figure 3c: triangle bags hang off the U(x,x') bag; width 3/2,
+	// versus width 3 for the single-bag plan (Fig. 3b).
+	g := Decompose(barbellH(), Options{})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Width-1.5) > 1e-6 {
+		t.Fatalf("barbell width=%v want 1.5\n%s", g.Width, g)
+	}
+	if g.Bags != 3 {
+		t.Fatalf("barbell bags=%d want 3\n%s", g.Bags, g)
+	}
+
+	single := Decompose(barbellH(), Options{SingleBag: true})
+	if single.Bags != 1 {
+		t.Fatalf("single-bag option ignored: %d bags", single.Bags)
+	}
+	if math.Abs(single.Width-3.0) > 1e-6 {
+		t.Fatalf("single-bag barbell width=%v want 3", single.Width)
+	}
+	if err := single.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarbellRedundantBags(t *testing.T) {
+	// The two triangle bags of the Barbell GHD are equivalent
+	// (Appendix B.2): same relations, same structure.
+	g := Decompose(barbellH(), Options{})
+	var triBags []*Bag
+	var visit func(b *Bag)
+	visit = func(b *Bag) {
+		if len(b.Edges) == 3 {
+			triBags = append(triBags, b)
+		}
+		for _, c := range b.Children {
+			visit(c)
+		}
+	}
+	visit(g.Root)
+	if len(triBags) != 2 {
+		t.Fatalf("found %d triangle bags, want 2\n%s", len(triBags), g)
+	}
+	s0 := g.EquivalentSignature(triBags[0])
+	s1 := g.EquivalentSignature(triBags[1])
+	if s0 != s1 {
+		t.Fatalf("triangle bags not detected equivalent:\n%s\n%s", s0, s1)
+	}
+}
+
+func TestAttributeOrderPreOrder(t *testing.T) {
+	g := Decompose(lollipopH(), Options{})
+	order := g.AttributeOrder(nil)
+	if len(order) != 4 {
+		t.Fatalf("order=%v", order)
+	}
+	seen := map[string]bool{}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("duplicate attr %s in %v", v, order)
+		}
+		seen[v] = true
+	}
+	for _, v := range []string{"x", "y", "z", "w"} {
+		if !seen[v] {
+			t.Fatalf("missing attr %s in %v", v, order)
+		}
+	}
+}
+
+func TestSelectionPushdown(t *testing.T) {
+	// 4-clique selection query (Fig. 8 / Table 12): P(x,'node') should be
+	// pushed below the clique bag when pushdown is enabled, and grafted
+	// above it (executed last) when disabled.
+	h := hypergraph.New([]hypergraph.Edge{
+		edge("R#0", "R", 1000, "x", "y"),
+		edge("S#1", "S", 1000, "y", "z"),
+		edge("T#2", "T", 1000, "x", "z"),
+		edge("U#3", "U", 1000, "x", "w"),
+		edge("V#4", "V", 1000, "y", "w"),
+		edge("Q#5", "Q", 1000, "z", "w"),
+		edge("P#6", "P", 10, "x"),
+	})
+	selEdges := []int{6}
+	g := Decompose(h, Options{SelectionEdges: selEdges})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Bags != 2 {
+		t.Fatalf("pushdown bags=%d want 2\n%s", g.Bags, g)
+	}
+	// Pushdown: P is a leaf below the clique bag (Fig. 8b).
+	if len(g.Root.Edges) != 6 || len(g.Root.Children) != 1 ||
+		g.Root.Children[0].Edges[0] != 6 {
+		t.Fatalf("pushdown shape wrong:\n%s", g)
+	}
+	gNo := Decompose(h, Options{SelectionEdges: selEdges, NoPushdown: true})
+	if err := gNo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No pushdown: P is the root; the clique computes below it (Fig. 8a).
+	if gNo.Root.Edges[0] != 6 || len(gNo.Root.Children) != 1 {
+		t.Fatalf("no-pushdown shape wrong:\n%s", gNo)
+	}
+	if g.SelectionDepth(selEdges) <= gNo.SelectionDepth(selEdges) {
+		t.Fatalf("pushdown depth %d should exceed no-pushdown %d",
+			g.SelectionDepth(selEdges), gNo.SelectionDepth(selEdges))
+	}
+	// Attribute order puts the selected variable first.
+	order := g.AttributeOrder(map[string]bool{"x": true})
+	if order[0] != "x" {
+		t.Fatalf("selected attr not first: %v", order)
+	}
+}
+
+func TestBarbellSelectionPushdown(t *testing.T) {
+	// Barbell selection (Table 12): U(x,'node'), V('node',x2) become unary
+	// selection atoms; with pushdown each hangs under its triangle.
+	h := hypergraph.New([]hypergraph.Edge{
+		edge("R#0", "R", 1000, "x", "y"),
+		edge("S#1", "S", 1000, "y", "z"),
+		edge("T#2", "T", 1000, "x", "z"),
+		edge("U#3", "U", 20, "x"),
+		edge("V#4", "V", 20, "x2"),
+		edge("R2#5", "R", 1000, "x2", "y2"),
+		edge("S2#6", "S", 1000, "y2", "z2"),
+		edge("T2#7", "T", 1000, "x2", "z2"),
+	})
+	selEdges := []int{3, 4}
+	g := Decompose(h, Options{SelectionEdges: selEdges})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Bags != 4 {
+		t.Fatalf("bags=%d want 4\n%s", g.Bags, g)
+	}
+	if g.Width > 1.5+1e-9 {
+		t.Fatalf("width=%v want 1.5\n%s", g.Width, g)
+	}
+	gNo := Decompose(h, Options{SelectionEdges: selEdges, NoPushdown: true})
+	if err := gNo.Validate(); err != nil {
+		t.Fatalf("%v\n%s", err, gNo)
+	}
+	if g.SelectionDepth(selEdges) <= gNo.SelectionDepth(selEdges) {
+		t.Fatalf("pushdown depth %d should exceed no-pushdown %d\n%s\n%s",
+			g.SelectionDepth(selEdges), gNo.SelectionDepth(selEdges), g, gNo)
+	}
+}
+
+func TestValidateCatchesBadGHD(t *testing.T) {
+	h := triangleH()
+	// A broken "decomposition" that drops edge S.
+	bad := &GHD{H: h, Root: &Bag{Edges: []int{0, 2}, Vars: []string{"x", "y", "z"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a GHD that does not cover all edges")
+	}
+	// Running-intersection violation: x in two leaves but not the root.
+	h2 := hypergraph.New([]hypergraph.Edge{
+		edge("A#0", "A", 10, "x", "y"),
+		edge("B#1", "B", 10, "x", "z"),
+		edge("C#2", "C", 10, "y", "z"),
+	})
+	bad2 := &GHD{H: h2, Root: &Bag{
+		Edges: []int{2}, Vars: []string{"y", "z"},
+		Children: []*Bag{
+			{Edges: []int{0}, Vars: []string{"x", "y"}},
+			{Edges: []int{1}, Vars: []string{"x", "z"}},
+		},
+	}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("Validate accepted a running-intersection violation")
+	}
+}
+
+func TestPathQueryGHD(t *testing.T) {
+	// Acyclic 3-path R(a,b),S(b,c),T(c,d): fhw = 1.
+	h := hypergraph.New([]hypergraph.Edge{
+		edge("R#0", "R", 100, "a", "b"),
+		edge("S#1", "S", 100, "b", "c"),
+		edge("T#2", "T", 100, "c", "d"),
+	})
+	g := Decompose(h, Options{})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Width-1.0) > 1e-6 {
+		t.Fatalf("path width=%v want 1\n%s", g.Width, g)
+	}
+}
+
+func TestGHDStringRendersBags(t *testing.T) {
+	g := Decompose(triangleH(), Options{})
+	s := g.String()
+	if !strings.Contains(s, "λ:") || !strings.Contains(s, "χ:") {
+		t.Fatalf("String() = %q", s)
+	}
+}

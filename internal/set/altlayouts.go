@@ -1,0 +1,130 @@
+package set
+
+// The paper evaluated five set layouts from the literature before
+// settling on uint and bitset (§4: "We implemented and tested five
+// different set layouts previously proposed in the literature [6,8,16,40].
+// We found that the simple uint and bitset layouts yield the highest
+// performance in our experiments"). This file implements the two rejected
+// compressed candidates — delta-encoded variable-byte (varint) and
+// run-length encoding — as standalone codecs, so the rejection experiment
+// is reproducible (BenchmarkAltLayouts in alt layout tests). They trade
+// memory for decode work on every intersection, which is exactly why the
+// engine does not use them.
+
+// VarintEncode delta-encodes a strictly increasing set with LEB128
+// variable-byte gaps (the Lemire et al. family of compressed layouts).
+func VarintEncode(vals []uint32) []byte {
+	out := make([]byte, 0, len(vals))
+	prev := uint32(0)
+	for i, v := range vals {
+		gap := v - prev
+		if i == 0 {
+			gap = v
+		}
+		for gap >= 0x80 {
+			out = append(out, byte(gap)|0x80)
+			gap >>= 7
+		}
+		out = append(out, byte(gap))
+		prev = v
+	}
+	return out
+}
+
+// VarintDecode reverses VarintEncode, appending into buf.
+func VarintDecode(data []byte, buf []uint32) []uint32 {
+	buf = buf[:0]
+	var cur uint32
+	var gap uint32
+	shift := uint(0)
+	first := true
+	for _, b := range data {
+		gap |= uint32(b&0x7f) << shift
+		if b&0x80 != 0 {
+			shift += 7
+			continue
+		}
+		if first {
+			cur = gap
+			first = false
+		} else {
+			cur += gap
+		}
+		buf = append(buf, cur)
+		gap, shift = 0, 0
+	}
+	return buf
+}
+
+// VarintIntersectCount intersects two varint-encoded sets by streaming
+// decode + merge, using the caller's scratch buffers.
+func VarintIntersectCount(a, b []byte, bufA, bufB []uint32) (int, []uint32, []uint32) {
+	bufA = VarintDecode(a, bufA)
+	bufB = VarintDecode(b, bufB)
+	return countMerge(bufA, bufB), bufA, bufB
+}
+
+// Run is one maximal run of consecutive values [Start, Start+Len).
+type Run struct {
+	Start uint32
+	Len   uint32
+}
+
+// RLEEncode run-length encodes a strictly increasing set.
+func RLEEncode(vals []uint32) []Run {
+	var runs []Run
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[j-1]+1 {
+			j++
+		}
+		runs = append(runs, Run{Start: vals[i], Len: uint32(j - i)})
+		i = j
+	}
+	return runs
+}
+
+// RLEDecode expands runs into values, appending into buf.
+func RLEDecode(runs []Run, buf []uint32) []uint32 {
+	buf = buf[:0]
+	for _, r := range runs {
+		for k := uint32(0); k < r.Len; k++ {
+			buf = append(buf, r.Start+k)
+		}
+	}
+	return buf
+}
+
+// RLEIntersectCount intersects two run-length encoded sets by run-overlap
+// merge — efficient when runs are long, degenerate (one run per value)
+// on the sparse neighborhoods that dominate graph data.
+func RLEIntersectCount(a, b []Run) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ra, rb := a[i], b[j]
+		endA := ra.Start + ra.Len
+		endB := rb.Start + rb.Len
+		lo := ra.Start
+		if rb.Start > lo {
+			lo = rb.Start
+		}
+		hi := endA
+		if endB < hi {
+			hi = endB
+		}
+		if hi > lo {
+			n += int(hi - lo)
+		}
+		if endA <= endB {
+			i++
+		}
+		if endB <= endA {
+			j++
+		}
+	}
+	return n
+}
+
+// RLEBytes is the memory footprint of the RLE encoding.
+func RLEBytes(runs []Run) int { return 8 * len(runs) }

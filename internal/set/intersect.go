@@ -1,0 +1,666 @@
+package set
+
+import "math/bits"
+
+// Algo selects a uint∩uint intersection algorithm (§4.2).
+type Algo uint8
+
+const (
+	// AlgoAuto is the paper's hybrid: galloping when the cardinality
+	// ratio exceeds GallopRatio (cardinality skew), shuffle otherwise.
+	AlgoAuto Algo = iota
+	// AlgoMerge is the textbook scalar two-pointer merge.
+	AlgoMerge
+	// AlgoShuffle is the block-skipping merge standing in for the SIMD
+	// shuffling algorithm (compares 4 keys per step).
+	AlgoShuffle
+	// AlgoGalloping is exponential search from the smaller set into the
+	// larger one; it satisfies the min property.
+	AlgoGalloping
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoMerge:
+		return "merge"
+	case AlgoShuffle:
+		return "shuffle"
+	case AlgoGalloping:
+		return "galloping"
+	}
+	return "algo?"
+}
+
+// GallopRatio is the cardinality-skew threshold of the hybrid algorithm:
+// the paper selects SIMD galloping when |larger| / |smaller| > 32.
+const GallopRatio = 32
+
+// Config controls intersection execution; the zero value is the full
+// EmptyHeaded optimizer. The ablation flags reproduce the "-S", "-R" and
+// "-RA" rows of Tables 8 and 11.
+type Config struct {
+	// Algo forces a specific uint∩uint algorithm. AlgoAuto applies the
+	// hybrid cardinality-skew rule. Setting AlgoMerge reproduces the
+	// "-A" (no algorithm optimization) ablations.
+	Algo Algo
+	// BitByBit disables data-parallel execution everywhere ("-S", no
+	// SIMD): bitset words are processed one bit at a time and the
+	// blocked shuffle merge degrades to the scalar merge. Layout and
+	// algorithm *choices* (galloping on cardinality skew) are kept, as
+	// in the paper's -S ablation.
+	BitByBit bool
+}
+
+// Default is the fully optimized configuration.
+var Default = Config{}
+
+// Intersect computes a ∩ b with the default configuration.
+func Intersect(a, b Set) Set { return IntersectCfg(a, b, Default) }
+
+// IntersectCount computes |a ∩ b| without materializing the result,
+// with the default configuration.
+func IntersectCount(a, b Set) int { return IntersectCountCfg(a, b, Default) }
+
+// IntersectBuf is IntersectCfg with caller-provided scratch: uint results
+// are stored in buf and bitset results in wbuf (both grown as needed and
+// returned for reuse). Results alias the buffers, so the caller owns the
+// lifetime. This is the allocation-free fast path of the generated loop
+// nests (§3.3): one scratch pair per loop level per worker.
+func IntersectBuf(a, b Set, cfg Config, buf []uint32, wbuf []uint64) (Set, []uint32, []uint64) {
+	if a.card == 0 || b.card == 0 {
+		return Set{}, buf, wbuf
+	}
+	switch {
+	case a.layout == Uint && b.layout == Uint:
+		out := intersectUintUint2(a.data, b.data, pickAlgo(a.data, b.data, cfg), buf[:0])
+		return FromSorted(out), out, wbuf
+	case a.layout == Uint && b.layout == Bitset:
+		out := intersectUintBitset(a.data, b, buf[:0])
+		return FromSorted(out), out, wbuf
+	case a.layout == Bitset && b.layout == Uint:
+		out := intersectUintBitset(b.data, a, buf[:0])
+		return FromSorted(out), out, wbuf
+	case a.layout == Bitset && b.layout == Bitset:
+		base, wa, wb, n := bitsetOverlap(a, b)
+		if n == 0 {
+			return Set{}, buf, wbuf
+		}
+		if cap(wbuf) < n {
+			wbuf = make([]uint64, n)
+		}
+		wbuf = wbuf[:n]
+		if cfg.BitByBit {
+			bitByBitAnd(wbuf, wa, wb, n)
+		} else {
+			for i := 0; i < n; i++ {
+				wbuf[i] = wa[i] & wb[i]
+			}
+		}
+		return fromBitsetWords(base, wbuf), buf, wbuf
+	default:
+		return IntersectCfg(a, b, cfg), buf, wbuf
+	}
+}
+
+func intersectUintUint2(a, b []uint32, algo Algo, out []uint32) []uint32 {
+	switch algo {
+	case AlgoGalloping:
+		return intersectGalloping(a, b, out)
+	case AlgoMerge:
+		return intersectMerge(a, b, out)
+	default:
+		return intersectShuffle(a, b, out)
+	}
+}
+
+// IntersectCfg computes a ∩ b under cfg. The result layout follows the
+// paper: uint∩uint→uint, bitset∩bitset→bitset, uint∩bitset→uint (the
+// result is at most as dense as the sparser input, §4.2 fn. 6),
+// composite∩composite→composite. Mixed composite pairs fall back to a
+// decode-and-merge path.
+func IntersectCfg(a, b Set, cfg Config) Set {
+	if a.card == 0 || b.card == 0 {
+		return Set{}
+	}
+	switch {
+	case a.layout == Uint && b.layout == Uint:
+		return FromSorted(intersectUintUint(a.data, b.data, pickAlgo(a.data, b.data, cfg)))
+	case a.layout == Bitset && b.layout == Bitset:
+		return intersectBitsetBitset(a, b, cfg.BitByBit)
+	case a.layout == Uint && b.layout == Bitset:
+		return FromSorted(intersectUintBitset(a.data, b, nil))
+	case a.layout == Bitset && b.layout == Uint:
+		return FromSorted(intersectUintBitset(b.data, a, nil))
+	case a.layout == Composite && b.layout == Composite:
+		return intersectCompositeComposite(a, b, cfg)
+	default:
+		// Mixed composite/other: probe the composite with the other side
+		// decoded lazily.
+		if a.layout == Composite {
+			a, b = b, a
+		}
+		var out []uint32
+		a.ForEach(func(_ int, v uint32) {
+			if b.containsOnly(v) {
+				out = append(out, v)
+			}
+		})
+		return FromSorted(out)
+	}
+}
+
+// intersectCountCompositeComposite merges the block lists and counts per
+// block without materialization (word-parallel on dense blocks).
+func intersectCountCompositeComposite(a, b Set) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a.blocks) && j < len(b.blocks) {
+		ba, bb := &a.blocks[i], &b.blocks[j]
+		if ba.id < bb.id {
+			i++
+			continue
+		}
+		if bb.id < ba.id {
+			j++
+			continue
+		}
+		switch {
+		case ba.dense && bb.dense:
+			for w := 0; w < blockWords; w++ {
+				n += bits.OnesCount64(ba.words[w] & bb.words[w])
+			}
+		case ba.dense != bb.dense:
+			sp, dn := ba, bb
+			if ba.dense {
+				sp, dn = bb, ba
+			}
+			for _, o := range sp.sparse {
+				if dn.words[o/64]&(1<<(o%64)) != 0 {
+					n++
+				}
+			}
+		default:
+			x, y := ba.sparse, bb.sparse
+			p, q := 0, 0
+			for p < len(x) && q < len(y) {
+				if x[p] == y[q] {
+					n++
+					p++
+					q++
+				} else if x[p] < y[q] {
+					p++
+				} else {
+					q++
+				}
+			}
+		}
+		i++
+		j++
+	}
+	return n
+}
+
+// IntersectCountCfg computes |a ∩ b| under cfg without materialization.
+func IntersectCountCfg(a, b Set, cfg Config) int {
+	if a.card == 0 || b.card == 0 {
+		return 0
+	}
+	switch {
+	case a.layout == Uint && b.layout == Uint:
+		return intersectCountUintUint(a.data, b.data, pickAlgo(a.data, b.data, cfg))
+	case a.layout == Bitset && b.layout == Bitset:
+		return intersectCountBitsetBitset(a, b, cfg.BitByBit)
+	case a.layout == Uint && b.layout == Bitset:
+		return intersectCountUintBitset(a.data, b)
+	case a.layout == Bitset && b.layout == Uint:
+		return intersectCountUintBitset(b.data, a)
+	case a.layout == Composite && b.layout == Composite:
+		return intersectCountCompositeComposite(a, b)
+	default:
+		n := 0
+		x, y := a, b
+		if y.card < x.card {
+			x, y = y, x
+		}
+		x.ForEach(func(_ int, v uint32) {
+			if y.containsOnly(v) {
+				n++
+			}
+		})
+		return n
+	}
+}
+
+// --- uint ∩ uint ----------------------------------------------------------
+
+// pickAlgo resolves the algorithm under cfg: the hybrid rule for
+// AlgoAuto, then the "-S" degradation of the vectorized shuffle to the
+// scalar merge.
+func pickAlgo(a, b []uint32, cfg Config) Algo {
+	algo := cfg.Algo
+	if algo == AlgoAuto {
+		la, lb := len(a), len(b)
+		if la > lb {
+			la, lb = lb, la
+		}
+		if la*GallopRatio < lb {
+			algo = AlgoGalloping
+		} else {
+			algo = AlgoShuffle
+		}
+	}
+	if cfg.BitByBit && algo == AlgoShuffle {
+		algo = AlgoMerge
+	}
+	return algo
+}
+
+func intersectUintUint(a, b []uint32, algo Algo) []uint32 {
+	switch algo {
+	case AlgoGalloping:
+		return intersectGalloping(a, b, nil)
+	case AlgoMerge:
+		return intersectMerge(a, b, nil)
+	default:
+		return intersectShuffle(a, b, nil)
+	}
+}
+
+func intersectCountUintUint(a, b []uint32, algo Algo) int {
+	switch algo {
+	case AlgoGalloping:
+		return countGalloping(a, b)
+	case AlgoMerge:
+		return countMerge(a, b)
+	default:
+		return countShuffle(a, b)
+	}
+}
+
+// intersectMerge is the scalar two-pointer merge intersection.
+func intersectMerge(a, b []uint32, out []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		av, bv := a[i], b[j]
+		if av == bv {
+			out = append(out, av)
+			i++
+			j++
+		} else if av < bv {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+func countMerge(a, b []uint32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		av, bv := a[i], b[j]
+		if av == bv {
+			n++
+			i++
+			j++
+		} else if av < bv {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+// intersectShuffle is the stand-in for the SIMD shuffling algorithm of
+// Katsov/Schlegel et al.: it advances over the inputs in blocks of four
+// keys, skipping whole blocks whose ranges cannot overlap, and compares
+// key-by-key only within overlapping blocks. With 128-bit SSE registers
+// the original compares 4×4 lanes per instruction; the block-skip here
+// captures the same data-dependent fast path in portable Go.
+func intersectShuffle(a, b []uint32, out []uint32) []uint32 {
+	i, j := 0, 0
+	la, lb := len(a), len(b)
+	for i+4 <= la && j+4 <= lb {
+		amax, bmax := a[i+3], b[j+3]
+		// Compare the 4-blocks; emit matches within the window.
+		if a[i+3] < b[j] { // disjoint: whole a-block below b-block
+			i += 4
+			continue
+		}
+		if b[j+3] < a[i] { // disjoint: whole b-block below a-block
+			j += 4
+			continue
+		}
+		// Overlapping window: merge the two blocks scalar.
+		ai, bj := i, j
+		for ai < i+4 && bj < j+4 {
+			av, bv := a[ai], b[bj]
+			if av == bv {
+				out = append(out, av)
+				ai++
+				bj++
+			} else if av < bv {
+				ai++
+			} else {
+				bj++
+			}
+		}
+		if amax <= bmax {
+			i += 4
+		}
+		if bmax <= amax {
+			j += 4
+		}
+	}
+	// Scalar tail.
+	for i < la && j < lb {
+		av, bv := a[i], b[j]
+		if av == bv {
+			out = append(out, av)
+			i++
+			j++
+		} else if av < bv {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+func countShuffle(a, b []uint32) int {
+	// Count via the same control flow; reuse a small stack buffer to
+	// avoid allocation.
+	i, j, n := 0, 0, 0
+	la, lb := len(a), len(b)
+	for i+4 <= la && j+4 <= lb {
+		amax, bmax := a[i+3], b[j+3]
+		if amax < b[j] {
+			i += 4
+			continue
+		}
+		if bmax < a[i] {
+			j += 4
+			continue
+		}
+		ai, bj := i, j
+		for ai < i+4 && bj < j+4 {
+			av, bv := a[ai], b[bj]
+			if av == bv {
+				n++
+				ai++
+				bj++
+			} else if av < bv {
+				ai++
+			} else {
+				bj++
+			}
+		}
+		if amax <= bmax {
+			i += 4
+		}
+		if bmax <= amax {
+			j += 4
+		}
+	}
+	for i < la && j < lb {
+		av, bv := a[i], b[j]
+		if av == bv {
+			n++
+			i++
+			j++
+		} else if av < bv {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+// gallopSearch returns the smallest index k ≥ lo in b with b[k] ≥ v,
+// using exponential (galloping) search.
+func gallopSearch(b []uint32, lo int, v uint32) int {
+	if lo >= len(b) || b[lo] >= v {
+		return lo
+	}
+	step := 1
+	hi := lo + 1
+	for hi < len(b) && b[hi] < v {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	// Binary search in (lo, hi].
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid] < v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// intersectGalloping iterates the smaller input and gallops through the
+// larger; its running time is O(|small| · log |large|), which satisfies
+// the min property required for worst-case optimality (§2.1).
+func intersectGalloping(a, b []uint32, out []uint32) []uint32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	j := 0
+	for _, v := range a {
+		j = gallopSearch(b, j, v)
+		if j == len(b) {
+			break
+		}
+		if b[j] == v {
+			out = append(out, v)
+			j++
+		}
+	}
+	return out
+}
+
+func countGalloping(a, b []uint32) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	j, n := 0, 0
+	for _, v := range a {
+		j = gallopSearch(b, j, v)
+		if j == len(b) {
+			break
+		}
+		if b[j] == v {
+			n++
+			j++
+		}
+	}
+	return n
+}
+
+// --- bitset ∩ bitset ------------------------------------------------------
+
+func bitsetOverlap(a, b Set) (base uint32, wa, wb []uint64, n int) {
+	loA, loB := a.base, b.base
+	base = loA
+	if loB > base {
+		base = loB
+	}
+	hiA := loA + uint32(len(a.words)*64)
+	hiB := loB + uint32(len(b.words)*64)
+	hi := hiA
+	if hiB < hi {
+		hi = hiB
+	}
+	if hi <= base {
+		return 0, nil, nil, 0
+	}
+	n = int(hi-base) / 64
+	wa = a.words[(base-loA)/64:]
+	wb = b.words[(base-loB)/64:]
+	return base, wa, wb, n
+}
+
+func intersectBitsetBitset(a, b Set, bitByBit bool) Set {
+	base, wa, wb, n := bitsetOverlap(a, b)
+	if n == 0 {
+		return Set{}
+	}
+	out := make([]uint64, n)
+	if bitByBit {
+		bitByBitAnd(out, wa, wb, n)
+	} else {
+		for i := 0; i < n; i++ {
+			out[i] = wa[i] & wb[i]
+		}
+	}
+	return fromBitsetWords(base, out)
+}
+
+// bitByBitAnd is the "-S" ablation: per-bit processing, no word-level
+// parallelism.
+func bitByBitAnd(out, wa, wb []uint64, n int) {
+	for i := 0; i < n; i++ {
+		var w uint64
+		x, y := wa[i], wb[i]
+		for bit := 0; bit < 64; bit++ {
+			m := uint64(1) << uint(bit)
+			if x&m != 0 && y&m != 0 {
+				w |= m
+			}
+		}
+		out[i] = w
+	}
+}
+
+func intersectCountBitsetBitset(a, b Set, bitByBit bool) int {
+	_, wa, wb, n := bitsetOverlap(a, b)
+	c := 0
+	if bitByBit {
+		for i := 0; i < n; i++ {
+			x, y := wa[i], wb[i]
+			for bit := 0; bit < 64; bit++ {
+				m := uint64(1) << uint(bit)
+				if x&m != 0 && y&m != 0 {
+					c++
+				}
+			}
+		}
+		return c
+	}
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(wa[i] & wb[i])
+	}
+	return c
+}
+
+// --- uint ∩ bitset --------------------------------------------------------
+
+// intersectUintBitset probes each uint key against the bitset words; the
+// running time is bounded by the uint side, preserving the min property
+// up to the block-size constant (§4.2).
+func intersectUintBitset(a []uint32, b Set, out []uint32) []uint32 {
+	lo := b.base
+	hi := lo + uint32(len(b.words)*64)
+	// Skip uint values below the bitset range.
+	i := gallopSearch(a, 0, lo)
+	for ; i < len(a); i++ {
+		v := a[i]
+		if v >= hi {
+			break
+		}
+		off := v - lo
+		if b.words[off/64]&(1<<(off%64)) != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func intersectCountUintBitset(a []uint32, b Set) int {
+	lo := b.base
+	hi := lo + uint32(len(b.words)*64)
+	n := 0
+	i := gallopSearch(a, 0, lo)
+	for ; i < len(a); i++ {
+		v := a[i]
+		if v >= hi {
+			break
+		}
+		off := v - lo
+		if b.words[off/64]&(1<<(off%64)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// --- composite ∩ composite ------------------------------------------------
+
+func intersectCompositeComposite(a, b Set, cfg Config) Set {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(a.blocks) && j < len(b.blocks) {
+		ba, bb := &a.blocks[i], &b.blocks[j]
+		if ba.id < bb.id {
+			i++
+			continue
+		}
+		if bb.id < ba.id {
+			j++
+			continue
+		}
+		vbase := ba.id * BlockBits
+		switch {
+		case ba.dense && bb.dense:
+			for w := 0; w < blockWords; w++ {
+				m := ba.words[w] & bb.words[w]
+				wb := vbase + uint32(w*64)
+				for m != 0 {
+					t := bits.TrailingZeros64(m)
+					out = append(out, wb+uint32(t))
+					m &= m - 1
+				}
+			}
+		case ba.dense != bb.dense:
+			sp, dn := ba, bb
+			if bb.dense {
+				sp, dn = ba, bb
+			} else {
+				sp, dn = bb, ba
+			}
+			for _, o := range sp.sparse {
+				if dn.words[o/64]&(1<<(o%64)) != 0 {
+					out = append(out, vbase+uint32(o))
+				}
+			}
+		default: // both sparse
+			x, y := ba.sparse, bb.sparse
+			p, q := 0, 0
+			for p < len(x) && q < len(y) {
+				if x[p] == y[q] {
+					out = append(out, vbase+uint32(x[p]))
+					p++
+					q++
+				} else if x[p] < y[q] {
+					p++
+				} else {
+					q++
+				}
+			}
+		}
+		i++
+		j++
+	}
+	return NewComposite(out)
+}

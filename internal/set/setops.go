@@ -1,0 +1,105 @@
+package set
+
+// Union computes a ∪ b. Dense pairs use word-level OR; mixed pairs merge
+// decoded streams. Union is used by the recursion executor to grow the
+// recursive relation (§3.3 "Recursion").
+func Union(a, b Set) Set {
+	if a.card == 0 {
+		return b
+	}
+	if b.card == 0 {
+		return a
+	}
+	if a.layout == Bitset && b.layout == Bitset {
+		lo := a.base
+		if b.base < lo {
+			lo = b.base
+		}
+		hiA := a.base + uint32(len(a.words)*64)
+		hiB := b.base + uint32(len(b.words)*64)
+		hi := hiA
+		if hiB > hi {
+			hi = hiB
+		}
+		out := make([]uint64, (hi-lo)/64)
+		copyWords(out, lo, a)
+		orWords(out, lo, b)
+		return fromBitsetWords(lo, out)
+	}
+	return FromSorted(mergeUnion(a.Slice(), b.Slice()))
+}
+
+func copyWords(dst []uint64, lo uint32, s Set) {
+	off := (s.base - lo) / 64
+	copy(dst[off:], s.words)
+}
+
+func orWords(dst []uint64, lo uint32, s Set) {
+	off := (s.base - lo) / 64
+	for i, w := range s.words {
+		dst[off+uint32(i)] |= w
+	}
+}
+
+func mergeUnion(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		av, bv := a[i], b[j]
+		switch {
+		case av == bv:
+			out = append(out, av)
+			i++
+			j++
+		case av < bv:
+			out = append(out, av)
+			i++
+		default:
+			out = append(out, bv)
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Difference computes a \ b. It is used by the seminaive recursion
+// executor to form delta frontiers.
+func Difference(a, b Set) Set {
+	if a.card == 0 || b.card == 0 {
+		return a
+	}
+	if a.layout == Bitset && b.layout == Bitset {
+		out := make([]uint64, len(a.words))
+		copy(out, a.words)
+		lo, hi := a.base, a.base+uint32(len(a.words)*64)
+		bLo, bHi := b.base, b.base+uint32(len(b.words)*64)
+		from, to := max32(lo, bLo), min32(hi, bHi)
+		for v := from; v < to; v += 64 {
+			out[(v-lo)/64] &^= b.words[(v-bLo)/64]
+		}
+		return fromBitsetWords(lo, out)
+	}
+	var out []uint32
+	a.ForEach(func(_ int, v uint32) {
+		if !b.Contains(v) {
+			out = append(out, v)
+		}
+	})
+	return FromSorted(out)
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,355 @@
+// Package trie implements EmptyHeaded's storage structure (§2.2, Fig. 2):
+// a multi-level trie of sets of dictionary-encoded 32-bit values, where
+// each set may carry per-value annotations from a semiring and each set is
+// stored in the layout chosen by the layout optimizer (§4).
+package trie
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/set"
+)
+
+// LayoutFunc decides the physical layout for one set of a trie given the
+// level it appears at and its (strictly increasing) values. The storage
+// package supplies the relation-level, set-level, and block-level policies.
+type LayoutFunc func(level int, vals []uint32) set.Layout
+
+// AutoLayout is the paper's default set-level optimizer.
+func AutoLayout(_ int, vals []uint32) set.Layout { return set.ChooseLayout(vals) }
+
+// UintLayout stores every set as a sorted uint array (relation-level "-R").
+func UintLayout(_ int, _ []uint32) set.Layout { return set.Uint }
+
+// BitsetLayout stores every set as a bitset (relation-level, dense).
+func BitsetLayout(_ int, _ []uint32) set.Layout { return set.Bitset }
+
+// CompositeLayout stores every set in the block-level composite layout.
+func CompositeLayout(_ int, _ []uint32) set.Layout { return set.Composite }
+
+// Node is one trie node: a set of values, each optionally pointing at a
+// child node (inner levels) and optionally annotated (the last annotated
+// level). Children and Ann are rank-indexed, aligned with Set iteration
+// order.
+type Node struct {
+	Set      set.Set
+	Children []*Node
+	Ann      []float64
+}
+
+// Child returns the child node under value v, or nil if v is absent or the
+// node is a leaf. This is the trie operation R[t] of Table 2.
+func (n *Node) Child(v uint32) *Node {
+	if n == nil || n.Children == nil {
+		return nil
+	}
+	r, ok := n.Set.Rank(v)
+	if !ok {
+		return nil
+	}
+	return n.Children[r]
+}
+
+// AnnOf returns the annotation of value v, or the semiring op's One if the
+// node is un-annotated. ok is false when v is absent.
+func (n *Node) AnnOf(v uint32, op semiring.Op) (ann float64, ok bool) {
+	r, found := n.Set.Rank(v)
+	if !found {
+		return 0, false
+	}
+	if n.Ann == nil {
+		return op.One(), true
+	}
+	return n.Ann[r], true
+}
+
+// Trie is an immutable relation in trie form.
+type Trie struct {
+	// Arity is the number of key attributes (levels).
+	Arity int
+	// Annotated reports whether leaf values carry annotations.
+	Annotated bool
+	// Op is the semiring under which annotations combine.
+	Op semiring.Op
+	// Root holds the first-level set. For Arity 0 (scalar relations such
+	// as the N(;w) count in PageRank) Root is nil and Scalar holds the
+	// annotation.
+	Root   *Node
+	Scalar float64
+}
+
+// NewScalar builds a zero-arity annotated relation (a single semiring value).
+func NewScalar(v float64, op semiring.Op) *Trie {
+	return &Trie{Arity: 0, Annotated: true, Op: op, Scalar: v}
+}
+
+// Cardinality returns the number of tuples in the relation.
+func (t *Trie) Cardinality() int {
+	if t.Arity == 0 {
+		return 1
+	}
+	return countLeaves(t.Root, t.Arity)
+}
+
+func countLeaves(n *Node, depth int) int {
+	if n == nil {
+		return 0
+	}
+	if depth == 1 || n.Children == nil {
+		return n.Set.Card()
+	}
+	total := 0
+	for _, c := range n.Children {
+		total += countLeaves(c, depth-1)
+	}
+	return total
+}
+
+// MemBytes estimates the trie payload size (sets + annotations + child
+// pointers), used by the layout experiments.
+func (t *Trie) MemBytes() int {
+	return memBytes(t.Root)
+}
+
+func memBytes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	b := n.Set.MemBytes() + 8*len(n.Children) + 8*len(n.Ann)
+	for _, c := range n.Children {
+		b += memBytes(c)
+	}
+	return b
+}
+
+// Builder accumulates tuples and materializes a Trie.
+type Builder struct {
+	arity     int
+	op        semiring.Op
+	layout    LayoutFunc
+	annotated bool
+	rows      [][]uint32
+	anns      []float64
+}
+
+// NewBuilder returns a builder for relations of the given arity. op governs
+// how duplicate-tuple annotations combine; layout picks per-set layouts
+// (nil means the set-level auto optimizer).
+func NewBuilder(arity int, op semiring.Op, layout LayoutFunc) *Builder {
+	if layout == nil {
+		layout = AutoLayout
+	}
+	return &Builder{arity: arity, op: op, layout: layout}
+}
+
+// Add appends one un-annotated tuple. The tuple is copied, so callers may
+// reuse their buffer.
+func (b *Builder) Add(tuple ...uint32) {
+	if len(tuple) != b.arity {
+		panic(fmt.Sprintf("trie: Add arity %d, want %d", len(tuple), b.arity))
+	}
+	b.rows = append(b.rows, append([]uint32(nil), tuple...))
+}
+
+// AddAnn appends one annotated tuple. The tuple is copied, so callers may
+// reuse their buffer.
+func (b *Builder) AddAnn(ann float64, tuple ...uint32) {
+	if len(tuple) != b.arity {
+		panic(fmt.Sprintf("trie: AddAnn arity %d, want %d", len(tuple), b.arity))
+	}
+	b.annotated = true
+	b.rows = append(b.rows, append([]uint32(nil), tuple...))
+	b.anns = append(b.anns, ann)
+}
+
+// Build sorts, deduplicates (combining annotations under the semiring) and
+// materializes the trie. The builder must not be reused afterwards.
+// Rows appended in lexicographic order (the natural emission order of the
+// engine's loop nests) skip the sort entirely.
+func (b *Builder) Build() *Trie {
+	if b.annotated && len(b.anns) != len(b.rows) {
+		panic("trie: mixed annotated and un-annotated tuples")
+	}
+	idx := make([]int, len(b.rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	presorted := true
+	for i := 1; i < len(b.rows); i++ {
+		if tupleLess(b.rows[i], b.rows[i-1]) {
+			presorted = false
+			break
+		}
+	}
+	if !presorted {
+		sort.Slice(idx, func(x, y int) bool {
+			return tupleLess(b.rows[idx[x]], b.rows[idx[y]])
+		})
+	}
+	// Deduplicate, combining annotations with ⊕.
+	rows := make([][]uint32, 0, len(b.rows))
+	var anns []float64
+	if b.annotated {
+		anns = make([]float64, 0, len(b.anns))
+	}
+	for _, i := range idx {
+		r := b.rows[i]
+		if n := len(rows); n > 0 && tupleEq(rows[n-1], r) {
+			if b.annotated {
+				anns[n-1] = b.op.Add(anns[n-1], b.anns[i])
+			}
+			continue
+		}
+		rows = append(rows, r)
+		if b.annotated {
+			anns = append(anns, b.anns[i])
+		}
+	}
+	t := &Trie{Arity: b.arity, Annotated: b.annotated, Op: b.op}
+	if b.arity == 0 {
+		t.Scalar = b.op.Zero()
+		for _, a := range anns {
+			t.Scalar = b.op.Add(t.Scalar, a)
+		}
+		return t
+	}
+	t.Root = buildLevel(rows, anns, 0, b.arity, b.layout)
+	return t
+}
+
+func tupleEq(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func tupleLess(a, b []uint32) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+// buildLevel builds the trie node for rows[lo:hi) at the given level; rows
+// must be sorted and deduplicated.
+func buildLevel(rows [][]uint32, anns []float64, level, arity int, layout LayoutFunc) *Node {
+	if len(rows) == 0 {
+		return &Node{}
+	}
+	// Group rows by the value at this level.
+	var vals []uint32
+	var starts []int
+	for i := 0; i < len(rows); i++ {
+		v := rows[i][level]
+		if len(vals) == 0 || vals[len(vals)-1] != v {
+			vals = append(vals, v)
+			starts = append(starts, i)
+		}
+	}
+	starts = append(starts, len(rows))
+	n := &Node{Set: set.BuildLayout(vals, layout(level, vals))}
+	last := level == arity-1
+	if last {
+		if anns != nil {
+			n.Ann = make([]float64, len(vals))
+			copy(n.Ann, anns) // one row per value at the last level
+		}
+		return n
+	}
+	n.Children = make([]*Node, len(vals))
+	for gi := range vals {
+		lo, hi := starts[gi], starts[gi+1]
+		var sub []float64
+		if anns != nil {
+			sub = anns[lo:hi]
+		}
+		n.Children[gi] = buildLevel(rows[lo:hi], sub, level+1, arity, layout)
+	}
+	return n
+}
+
+// FromAdjacency builds a 2-level trie directly from an adjacency structure:
+// adj[v] must be a strictly increasing neighbor list; vertices with empty
+// lists are omitted from the first level. This is the fast path for graph
+// edge relations.
+func FromAdjacency(adj [][]uint32, layout LayoutFunc) *Trie {
+	if layout == nil {
+		layout = AutoLayout
+	}
+	var srcs []uint32
+	for v, ns := range adj {
+		if len(ns) > 0 {
+			srcs = append(srcs, uint32(v))
+		}
+	}
+	root := &Node{
+		Set:      set.BuildLayout(srcs, layout(0, srcs)),
+		Children: make([]*Node, len(srcs)),
+	}
+	for i, v := range srcs {
+		ns := adj[v]
+		root.Children[i] = &Node{Set: set.BuildLayout(ns, layout(1, ns))}
+	}
+	return &Trie{Arity: 2, Root: root}
+}
+
+// ForEachTuple enumerates all tuples (with annotation; op.One() when
+// un-annotated) in lexicographic order.
+func (t *Trie) ForEachTuple(f func(tuple []uint32, ann float64)) {
+	if t.Arity == 0 {
+		f(nil, t.Scalar)
+		return
+	}
+	buf := make([]uint32, t.Arity)
+	walk(t.Root, buf, 0, t.Arity, t.Op, f)
+}
+
+func walk(n *Node, buf []uint32, level, arity int, op semiring.Op, f func([]uint32, float64)) {
+	if n == nil {
+		return
+	}
+	last := level == arity-1
+	n.Set.ForEach(func(i int, v uint32) {
+		buf[level] = v
+		if last {
+			ann := op.One()
+			if n.Ann != nil {
+				ann = n.Ann[i]
+			}
+			f(buf, ann)
+			return
+		}
+		walk(n.Children[i], buf, level+1, arity, op, f)
+	})
+}
+
+// String renders small tries for debugging.
+func (t *Trie) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trie(arity=%d, card=%d)", t.Arity, t.Cardinality())
+	if t.Cardinality() <= 20 {
+		sb.WriteString("{")
+		first := true
+		t.ForEachTuple(func(tp []uint32, ann float64) {
+			if !first {
+				sb.WriteString(" ")
+			}
+			first = false
+			if t.Annotated {
+				fmt.Fprintf(&sb, "%v:%g", tp, ann)
+			} else {
+				fmt.Fprintf(&sb, "%v", tp)
+			}
+		})
+		sb.WriteString("}")
+	}
+	return sb.String()
+}
