@@ -1,11 +1,17 @@
 // Command eh-bench regenerates the tables and figures of the paper's
-// evaluation (§5, Appendices A-B) on the synthetic dataset stand-ins.
+// evaluation (§5, Appendices A-B) on the synthetic dataset stand-ins, and
+// doubles as a load generator against a live eh-server.
 //
 // Usage:
 //
 //	eh-bench [-exp table5,fig7] [-quick] [-reps 3]
+//	eh-bench -serve-url http://localhost:8080 [-serve-duration 5s] [-serve-concurrency 8] [-serve-mix queries.txt]
 //
-// With no -exp flag every experiment runs in paper order.
+// With no -exp flag every experiment runs in paper order. With -serve-url
+// the experiments are skipped: the query mix (one datalog program per
+// line of -serve-mix, or the built-in triangle/path/degree mix over Edge)
+// is replayed against the server and throughput plus latency percentiles
+// are reported.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"emptyheaded/internal/bench"
 )
@@ -21,7 +28,47 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(bench.IDs(), ",")+") or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps for fast runs")
 	reps := flag.Int("reps", 3, "repetitions per measurement (fastest kept)")
+	serveURL := flag.String("serve-url", "", "load-generator mode: replay a query mix against this eh-server base URL")
+	serveDuration := flag.Duration("serve-duration", 5*time.Second, "load-generator measurement window")
+	serveConcurrency := flag.Int("serve-concurrency", 8, "load-generator client workers")
+	serveMix := flag.String("serve-mix", "", "file with one datalog program per line (default: built-in triangle/path/degree mix)")
+	serveRelation := flag.String("serve-relation", "Edge", "edge relation name used by the built-in mix")
+	serveNoCache := flag.Bool("serve-nocache", false, "set no_cache on requests (measure execution, not result-cache hits)")
 	flag.Parse()
+
+	if *serveURL != "" {
+		queries := bench.DefaultQueryMix(*serveRelation)
+		if *serveMix != "" {
+			data, err := os.ReadFile(*serveMix)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "eh-bench:", err)
+				os.Exit(1)
+			}
+			queries = queries[:0]
+			for _, line := range strings.Split(string(data), "\n") {
+				if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
+					queries = append(queries, line)
+				}
+			}
+			if len(queries) == 0 {
+				fmt.Fprintf(os.Stderr, "eh-bench: %s contains no queries\n", *serveMix)
+				os.Exit(2)
+			}
+		}
+		rep, err := bench.RunLoad(bench.LoadConfig{
+			URL:           *serveURL,
+			Queries:       queries,
+			Concurrency:   *serveConcurrency,
+			Duration:      *serveDuration,
+			NoResultCache: *serveNoCache,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eh-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Format())
+		return
+	}
 
 	cfg := bench.DefaultConfig
 	cfg.Quick = *quick

@@ -1,0 +1,83 @@
+// Command eh-server serves EmptyHeaded over HTTP/JSON: concurrent datalog
+// queries against a shared engine, with plan and result caching and a
+// bounded worker pool (see internal/server).
+//
+// Usage:
+//
+//	eh-server -addr :8080 -graph edges.txt                # serve an edge list as Edge
+//	eh-server -addr :8080 -synthetic 10000 -degree 16     # serve a synthetic power-law graph
+//	eh-server -addr :8080                                 # start empty; POST /load
+//
+// Quickstart once running:
+//
+//	curl -s localhost:8080/query -d '{"query":"TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>."}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"emptyheaded/internal/core"
+	"emptyheaded/internal/gen"
+	"emptyheaded/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	graphPath := flag.String("graph", "", "edge list file served as relation Edge")
+	name := flag.String("name", "Edge", "relation name for the startup graph")
+	directed := flag.Bool("directed", false, "load the startup graph as directed")
+	synthetic := flag.Int("synthetic", 0, "serve a synthetic power-law graph with this many vertices (when no -graph)")
+	degree := flag.Int("degree", 16, "average degree of the synthetic graph")
+	seed := flag.Int64("seed", 1, "synthetic graph seed")
+	workers := flag.Int("workers", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission gate size (0 = 4x workers)")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "max time a request waits for a worker slot")
+	planCache := flag.Int("plan-cache", 256, "plan cache entries")
+	resultCache := flag.Int("result-cache", 128, "result cache entries")
+	timeout := flag.Duration("query-timeout", 0, "per-query execution timeout (0 = none)")
+	flag.Parse()
+
+	eng := core.New()
+	eng.Opts.Timeout = *timeout
+
+	switch {
+	case *graphPath != "":
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.LoadEdgeList(*name, f, !*directed); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+	case *synthetic > 0:
+		g := gen.PowerLaw(*synthetic, *synthetic**degree, 2.1, *seed)
+		eng.LoadGraph(*name, g)
+	}
+	for _, ri := range eng.Relations() {
+		log.Printf("eh-server: relation %s arity=%d cardinality=%d", ri.Name, ri.Arity, ri.Cardinality)
+	}
+
+	s := server.New(eng, server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		QueueWait:       *queueWait,
+		PlanCacheSize:   *planCache,
+		ResultCacheSize: *resultCache,
+	})
+	log.Printf("eh-server: listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eh-server:", err)
+	os.Exit(1)
+}

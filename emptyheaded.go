@@ -16,6 +16,10 @@
 //	res, err := eng.Run(`TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
 //	fmt.Println(res.Scalar())                // triangle count
 //
+// To serve queries over HTTP with plan/result caching and admission
+// control, run cmd/eh-server (see internal/server and the README's curl
+// quickstart); cmd/eh-bench -serve-url load-tests a running server.
+//
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
 // reproduction results.
 package emptyheaded

@@ -1,0 +1,3 @@
+module emptyheaded
+
+go 1.24

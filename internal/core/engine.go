@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"emptyheaded/internal/datalog"
 	"emptyheaded/internal/exec"
@@ -17,10 +18,15 @@ import (
 )
 
 // Engine is an EmptyHeaded instance: a database of trie-stored relations
-// plus execution options.
+// plus execution options. Loading and querying are safe for concurrent
+// use; Run mutates the shared database (head relations persist), while
+// RunIsolated / RunPrepared execute against a session-local fork so
+// concurrent queries never observe each other's intermediates.
 type Engine struct {
 	DB   *exec.DB
 	Opts exec.Options
+	// mu guards graphs; the DB carries its own synchronization.
+	mu sync.RWMutex
 	// graphs remembers loaded graphs by relation name for the
 	// benchmark harness and examples.
 	graphs map[string]*graph.Graph
@@ -42,7 +48,9 @@ func NewWithOptions(opts exec.Options) *Engine {
 // LoadGraph registers a graph as the binary edge relation `name`.
 func (e *Engine) LoadGraph(name string, g *graph.Graph) {
 	e.DB.AddGraph(name, g, e.Opts.Layout, e.layoutName())
+	e.mu.Lock()
 	e.graphs[name] = g
+	e.mu.Unlock()
 }
 
 func (e *Engine) layoutName() string {
@@ -54,8 +62,20 @@ func (e *Engine) layoutName() string {
 
 // Graph returns a previously loaded graph.
 func (e *Engine) Graph(name string) (*graph.Graph, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	g, ok := e.graphs[name]
 	return g, ok
+}
+
+// LoadGraphWithDict registers a graph and its identifier dictionary as
+// one atomic installation: concurrent forks never observe the new
+// dictionary paired with the old relation (or vice versa).
+func (e *Engine) LoadGraphWithDict(name string, g *graph.Graph, dict *graph.Dictionary) {
+	e.DB.ReplaceGraph(name, g, dict, e.Opts.Layout, e.layoutName())
+	e.mu.Lock()
+	e.graphs[name] = g
+	e.mu.Unlock()
 }
 
 // LoadEdgeList reads a "src dst" edge list, dictionary-encodes it, and
@@ -66,8 +86,7 @@ func (e *Engine) LoadEdgeList(name string, r io.Reader, undirected bool) error {
 	if err != nil {
 		return err
 	}
-	e.DB.Dict = dict
-	e.LoadGraph(name, g)
+	e.LoadGraphWithDict(name, g, dict)
 	return nil
 }
 
@@ -101,9 +120,11 @@ func (e *Engine) Alias(alias, target string) error {
 		return fmt.Errorf("core: unknown relation %s", target)
 	}
 	e.DB.AddTrie(alias, rel.Canonical())
+	e.mu.Lock()
 	if g, ok := e.graphs[target]; ok {
 		e.graphs[alias] = g
 	}
+	e.mu.Unlock()
 	return nil
 }
 
@@ -116,6 +137,59 @@ func (e *Engine) Run(query string) (*exec.Result, error) {
 		return nil, err
 	}
 	return exec.RunProgram(e.DB, prog, e.Opts)
+}
+
+// RunIsolated executes an already parsed program against a fork of the
+// database: intermediate and final head relations stay session-local, so
+// any number of RunIsolated calls may proceed concurrently with each
+// other (and with loads). Embedders serving concurrent queries should
+// use this (or RunPrepared) instead of Run.
+func (e *Engine) RunIsolated(prog *datalog.Program) (*exec.Result, error) {
+	return exec.RunProgram(e.DB.Fork(), prog, e.Opts)
+}
+
+// Prepare compiles a parsed program into a reusable Prepared query (see
+// exec.Prepare); the service's plan cache stores these.
+func (e *Engine) Prepare(prog *datalog.Program) (*exec.Prepared, error) {
+	return exec.Prepare(e.DB, prog, e.Opts)
+}
+
+// RunPrepared executes a prepared query against a fresh fork. Callers
+// that need the fork afterwards (e.g. its dictionary snapshot, as the
+// query service does for decoding) should fork explicitly and call
+// Prepared.Run themselves.
+func (e *Engine) RunPrepared(pr *exec.Prepared) (*exec.Result, error) {
+	return pr.Run(e.DB.Fork())
+}
+
+// Version exposes the database mutation counter for cache invalidation.
+func (e *Engine) Version() uint64 { return e.DB.Version() }
+
+// RelationInfo is a catalog row describing one stored relation.
+type RelationInfo struct {
+	Name        string `json:"name"`
+	Arity       int    `json:"arity"`
+	Cardinality int    `json:"cardinality"`
+	Annotated   bool   `json:"annotated"`
+}
+
+// Relations returns catalog rows for every stored relation, sorted by
+// name.
+func (e *Engine) Relations() []RelationInfo {
+	var out []RelationInfo
+	for _, n := range e.DB.Names() {
+		r, ok := e.DB.Relation(n)
+		if !ok {
+			continue // dropped between Names and lookup
+		}
+		out = append(out, RelationInfo{
+			Name:        r.Name,
+			Arity:       r.Arity,
+			Cardinality: r.Cardinality(),
+			Annotated:   r.Annotated,
+		})
+	}
+	return out
 }
 
 // Explain compiles the (single-rule) query and renders its physical plan

@@ -1,0 +1,120 @@
+package datalog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+)
+
+// Normalize renders the program in a canonical form: variables are
+// renamed v0, v1, … in order of first appearance within each rule (head
+// first, then body), and the rule is re-serialized with fixed spacing via
+// Rule.String. Two programs that differ only in variable names or
+// whitespace normalize identically; atom order is preserved because the
+// GHD optimizer is sensitive to it. The plan cache keys on this form so
+// alpha-equivalent queries share one compiled plan.
+func (p *Program) Normalize() string {
+	var sb strings.Builder
+	for i, r := range p.Rules {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		nr, _ := normalizeRule(r)
+		sb.WriteString(nr.String())
+	}
+	return sb.String()
+}
+
+// FinalVarMap returns the canonical-renaming map (source variable → v0,
+// v1, …) of the program's final rule — the one whose head becomes the
+// query result. Two alpha-equivalent programs map corresponding variables
+// to the same canonical name, which lets the query service translate
+// result attribute names between spellings that share a fingerprint.
+func (p *Program) FinalVarMap() map[string]string {
+	if len(p.Rules) == 0 {
+		return map[string]string{}
+	}
+	_, m := normalizeRule(p.Rules[len(p.Rules)-1])
+	return m
+}
+
+// Fingerprint is the hex SHA-256 of the normalized program, the cache key
+// used by the query service's plan and result caches.
+func (p *Program) Fingerprint() string {
+	sum := sha256.Sum256([]byte(p.Normalize()))
+	return hex.EncodeToString(sum[:])
+}
+
+// normalizeRule returns a deep-enough copy of r with canonical variable
+// names plus the renaming map used; r itself is never mutated.
+func normalizeRule(r *Rule) (*Rule, map[string]string) {
+	m := map[string]string{}
+	rename := func(v string) string {
+		if v == "" || v == "*" {
+			return v
+		}
+		if nv, ok := m[v]; ok {
+			return nv
+		}
+		nv := "v" + strconv.Itoa(len(m))
+		m[v] = nv
+		return nv
+	}
+
+	nr := &Rule{Head: r.Head}
+	nr.Head.Vars = make([]string, len(r.Head.Vars))
+	for i, v := range r.Head.Vars {
+		nr.Head.Vars[i] = rename(v)
+	}
+	for _, a := range r.Atoms {
+		na := &Atom{Pred: a.Pred, Args: make([]Term, len(a.Args))}
+		for i, t := range a.Args {
+			if t.Var != "" {
+				na.Args[i] = Term{Var: rename(t.Var)}
+			} else {
+				na.Args[i] = t
+			}
+		}
+		nr.Atoms = append(nr.Atoms, na)
+	}
+	// The annotation alias and assignment variable share one namespace
+	// with the body variables (w in `(;w:long) … ; w=<<COUNT(*)>>`).
+	nr.Head.AnnVar = rename(r.Head.AnnVar)
+	if r.Assign != nil {
+		nr.Assign = &Assign{Var: rename(r.Assign.Var), Expr: renameExpr(r.Assign.Expr, m)}
+	}
+	return nr, m
+}
+
+// renameExpr rewrites aggregate arguments under the rule's variable
+// mapping; relation references (RefExpr) keep their names. Expr nodes are
+// values in the parser, but FindAgg tolerates pointers, so both spellings
+// are handled.
+func renameExpr(e Expr, m map[string]string) Expr {
+	ren := func(v string) string {
+		if nv, ok := m[v]; ok {
+			return nv
+		}
+		return v
+	}
+	switch x := e.(type) {
+	case AggExpr:
+		x.Arg = ren(x.Arg)
+		return x
+	case *AggExpr:
+		c := *x
+		c.Arg = ren(c.Arg)
+		return c
+	case BinExpr:
+		x.L = renameExpr(x.L, m)
+		x.R = renameExpr(x.R, m)
+		return x
+	case *BinExpr:
+		c := *x
+		c.L = renameExpr(c.L, m)
+		c.R = renameExpr(c.R, m)
+		return c
+	}
+	return e
+}

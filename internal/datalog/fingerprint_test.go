@@ -1,0 +1,79 @@
+package datalog
+
+import "testing"
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestFingerprintAlphaEquivalence(t *testing.T) {
+	cases := [][2]string{
+		{
+			`TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`,
+			`TC(;c:long) :- Edge(a,b),  Edge(b,d), Edge(a,d);  c = <<COUNT(*)>>.`,
+		},
+		{
+			`P(x,z) :- Edge(x,y),Edge(y,z).`,
+			`P(a,c) :- Edge(a,b),Edge(b,c).`,
+		},
+		{
+			`Deg(x;w:long) :- Edge(x,y); w=<<COUNT(y)>>.`,
+			`Deg(u;n:long) :- Edge(u,v); n=<<COUNT(v)>>.`,
+		},
+	}
+	for _, c := range cases {
+		a, b := mustParse(t, c[0]), mustParse(t, c[1])
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("fingerprints differ for alpha-equivalent queries:\n  %s\n  %s\nnorm a: %s\nnorm b: %s",
+				c[0], c[1], a.Normalize(), b.Normalize())
+		}
+	}
+}
+
+func TestFingerprintDistinguishesQueries(t *testing.T) {
+	qs := []string{
+		`TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`,
+		`P(x,z) :- Edge(x,y),Edge(y,z).`,
+		`P(x,y) :- Edge(x,y),Edge(y,z).`,              // different head projection
+		`P(x,z) :- Edge(x,y),Edge(y,z),Edge(x,z).`,    // extra atom
+		`Q(x,z) :- Edge(x,y),Edge(y,z).`,              // different head name
+		`P(x,z) :- Edge(x,y),Foo(y,z).`,               // different predicate
+		`S(y) :- Edge(1,y).`,                          // constant
+		`S(y) :- Edge(2,y).`,                          // different constant
+		`Deg(x;w:long) :- Edge(x,y); w=<<COUNT(y)>>.`, // distinct-agg
+		`Deg(x;w:long) :- Edge(x,y); w=<<COUNT(*)>>.`, // multiplicity agg
+		`Deg(x;w:long) :- Edge(x,y); w=<<SUM(y)>>.`,   // different op
+		`R(x;w) :- Edge(x,y); w=1+<<COUNT(y)>>.`,      // wrapped expression
+	}
+	seen := map[string]string{}
+	for _, q := range qs {
+		fp := mustParse(t, q).Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("fingerprint collision:\n  %s\n  %s", prev, q)
+		}
+		seen[fp] = q
+	}
+}
+
+func TestNormalizeDoesNotMutate(t *testing.T) {
+	src := `TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`
+	p := mustParse(t, src)
+	before := p.Rules[0].String()
+	p.Normalize()
+	if after := p.Rules[0].String(); after != before {
+		t.Errorf("Normalize mutated the program:\n  before: %s\n  after:  %s", before, after)
+	}
+}
+
+func TestNormalizeMultiRuleProgram(t *testing.T) {
+	a := mustParse(t, "N(;w:long) :- Edge(x,y); w=<<COUNT(*)>>.\nTwoN(;u) :- Edge(p,q); u=2*<<COUNT(*)>>.")
+	b := mustParse(t, "N(;c:long) :- Edge(a,b); c=<<COUNT(*)>>.\nTwoN(;k) :- Edge(s,t); k=2*<<COUNT(*)>>.")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("multi-rule fingerprints differ:\n%s\n---\n%s", a.Normalize(), b.Normalize())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"emptyheaded/internal/graph"
@@ -17,20 +18,69 @@ import (
 	"emptyheaded/internal/trie"
 )
 
-// DB is a named collection of relations.
+// DB is a named collection of relations. All methods are safe for
+// concurrent use; a fork (see Fork) is a session-local snapshot so
+// concurrent programs can register intermediate head relations without
+// clobbering each other.
 type DB struct {
 	mu   sync.RWMutex
 	rels map[string]*Relation
-	// Dict translates between original vertex identifiers and the dense
+	// dict translates between original vertex identifiers and the dense
 	// codes used inside tries; selection constants in queries are
-	// expressed as original identifiers.
-	Dict *graph.Dictionary
+	// expressed as original identifiers. Guarded by mu (see Dict/SetDict).
+	dict *graph.Dictionary
+	// version counts mutations (AddTrie, Drop, SetDict); the query
+	// service uses it as a cache-invalidation epoch.
+	version atomic.Uint64
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
 	return &DB{rels: map[string]*Relation{}}
 }
+
+// Fork returns a session-local snapshot of db: the relation bindings and
+// the dictionary are copied at call time (sharing the immutable tries),
+// so a forked session sees one consistent database state even while the
+// original absorbs loads, and its writes (AddTrie, Drop) — intermediate
+// head relations, recursion deltas — never escape the fork. The fork's
+// Version starts at the snapshot's version (read before the copy, so it
+// never claims to be newer than the data it holds).
+func (db *DB) Fork() *DB {
+	f := &DB{}
+	db.mu.RLock()
+	f.rels = make(map[string]*Relation, len(db.rels))
+	for n, r := range db.rels {
+		f.rels[n] = r
+	}
+	f.dict = db.dict
+	// Read under the same lock writers bump it under, so the snapshot's
+	// version always matches its data.
+	f.version.Store(db.version.Load())
+	db.mu.RUnlock()
+	return f
+}
+
+// Dict returns the identifier dictionary (nil when relations were loaded
+// from raw codes).
+func (db *DB) Dict() *graph.Dictionary {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.dict
+}
+
+// SetDict installs the identifier dictionary.
+func (db *DB) SetDict(d *graph.Dictionary) {
+	db.mu.Lock()
+	db.dict = d
+	db.version.Add(1)
+	db.mu.Unlock()
+}
+
+// Version is a monotone mutation counter: it advances whenever a relation
+// is added, replaced or dropped, or the dictionary changes. Caches keyed
+// on query text pair entries with the version they were computed at.
+func (db *DB) Version() uint64 { return db.version.Load() }
 
 // Relation is a stored relation with lazily built trie indexes, one per
 // (column permutation, layout policy) — the paper stores "both orders" of
@@ -42,7 +92,10 @@ type Relation struct {
 	Annotated bool
 	Op        semiring.Op
 
-	mu        sync.Mutex
+	// mu guards the lazily built index cache: concurrent queries share
+	// relations, so every access to canonical/indexes goes through it.
+	// Cache hits take the read lock only.
+	mu        sync.RWMutex
 	canonical *trie.Trie
 	indexes   map[string]*trie.Trie
 }
@@ -60,6 +113,7 @@ func (db *DB) AddTrie(name string, t *trie.Trie) *Relation {
 	}
 	db.mu.Lock()
 	db.rels[name] = r
+	db.version.Add(1)
 	db.mu.Unlock()
 	return r
 }
@@ -76,6 +130,28 @@ func (db *DB) AddGraph(name string, g *graph.Graph, layout trie.LayoutFunc, layo
 	return r
 }
 
+// ReplaceGraph atomically installs a graph relation together with its
+// identifier dictionary in one critical section and one version bump:
+// a concurrent Fork sees either the old (dict, relation) pair or the new
+// one, never a mix of the two.
+func (db *DB) ReplaceGraph(name string, g *graph.Graph, dict *graph.Dictionary, layout trie.LayoutFunc, layoutName string) *Relation {
+	t := trie.FromAdjacency(g.Adj, layout)
+	r := &Relation{
+		Name:      name,
+		Arity:     t.Arity,
+		Annotated: t.Annotated,
+		Op:        t.Op,
+		canonical: t,
+		indexes:   map[string]*trie.Trie{indexKey([]int{0, 1}, layoutName): t},
+	}
+	db.mu.Lock()
+	db.rels[name] = r
+	db.dict = dict
+	db.version.Add(1)
+	db.mu.Unlock()
+	return r
+}
+
 // Relation looks up a relation by name.
 func (db *DB) Relation(name string) (*Relation, bool) {
 	db.mu.RLock()
@@ -84,10 +160,12 @@ func (db *DB) Relation(name string) (*Relation, bool) {
 	return r, ok
 }
 
-// Drop removes a relation.
+// Drop removes a relation. Dropping in a fork never affects the database
+// it was forked from.
 func (db *DB) Drop(name string) {
 	db.mu.Lock()
 	delete(db.rels, name)
+	db.version.Add(1)
 	db.mu.Unlock()
 }
 
@@ -105,15 +183,15 @@ func (db *DB) Names() []string {
 
 // Cardinality returns the tuple count of the relation.
 func (r *Relation) Cardinality() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.canonical.Cardinality()
 }
 
 // Canonical returns the natural-order trie.
 func (r *Relation) Canonical() *trie.Trie {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.canonical
 }
 
@@ -134,6 +212,16 @@ func (r *Relation) Index(perm []int, layout trie.LayoutFunc, layoutName string) 
 		panic(fmt.Sprintf("exec: index perm %v for arity-%d relation %s", perm, r.Arity, r.Name))
 	}
 	key := indexKey(perm, layoutName)
+	// Fast path: the index already exists; concurrent readers proceed in
+	// parallel under the read lock.
+	r.mu.RLock()
+	cached, ok := r.indexes[key]
+	r.mu.RUnlock()
+	if ok {
+		return cached
+	}
+	// Slow path: build under the write lock (double-checked — another
+	// goroutine may have built it while we waited).
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if t, ok := r.indexes[key]; ok {

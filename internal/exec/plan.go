@@ -397,8 +397,8 @@ func (p *Plan) encodeConst(c *datalog.Const) (uint32, error) {
 	} else {
 		orig = int64(c.Num)
 	}
-	if p.db.Dict != nil {
-		code, ok := p.db.Dict.Lookup(orig)
+	if dict := p.db.Dict(); dict != nil {
+		code, ok := dict.Lookup(orig)
 		if !ok {
 			return 0, fmt.Errorf("exec: constant %d not in dictionary", orig)
 		}

@@ -68,6 +68,13 @@ func runRule(db *DB, rule *datalog.Rule, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runCompiled(db, p, rule)
+}
+
+// runCompiled executes an already compiled plan (freshly compiled, or a
+// Clone of a cached Prepared plan) and applies the rule's annotation
+// expression.
+func runCompiled(db *DB, p *Plan, rule *datalog.Rule) (*Result, error) {
 	res, err := p.Run()
 	if err != nil {
 		return nil, err

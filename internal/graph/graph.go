@@ -128,6 +128,18 @@ func (d *Dictionary) Permute(perm []uint32) {
 	}
 }
 
+// FromEdgePairs dictionary-encodes (src,dst) pairs given as original
+// identifiers and builds the graph — the in-memory twin of ParseEdgeList,
+// used by the query service's inline /load.
+func FromEdgePairs(pairs [][2]int64, undirected bool) (*Graph, *Dictionary) {
+	dict := NewDictionary()
+	edges := make([][2]uint32, 0, len(pairs))
+	for _, p := range pairs {
+		edges = append(edges, [2]uint32{dict.Encode(p[0]), dict.Encode(p[1])})
+	}
+	return FromEdges(dict.Len(), edges, undirected), dict
+}
+
 // ParseEdgeList reads a whitespace-separated "src dst" edge list (# or %
 // comment lines are skipped), dictionary-encodes the vertex identifiers
 // and returns the graph plus the dictionary.

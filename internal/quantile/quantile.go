@@ -1,0 +1,16 @@
+// Package quantile provides the nearest-rank quantile index shared by the
+// server's /stats latency windows and the bench load generator.
+package quantile
+
+// Index returns the nearest-rank index of the p-quantile (0 < p <= 1) in
+// n ascending-sorted samples; callers index their sorted slice with it.
+func Index(n int, p float64) int {
+	i := int(p*float64(n)+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

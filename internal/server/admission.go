@@ -1,0 +1,92 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Errors mapped to 503 by the HTTP layer.
+var (
+	errQueueFull    = errors.New("server: admission queue full")
+	errQueueTimeout = errors.New("server: timed out waiting for a worker slot")
+)
+
+// admission is the bounded worker-pool controller: at most `workers`
+// queries execute at once, at most `queueDepth` more wait (up to
+// queueWait each); everything beyond that is rejected immediately so an
+// overloaded server degrades with fast 503s instead of goroutine pileup.
+type admission struct {
+	slots      chan struct{}
+	queueDepth int64
+	queueWait  time.Duration
+
+	queued           atomic.Int64
+	active           atomic.Int64
+	rejectedFull     atomic.Int64
+	rejectedTimeout  atomic.Int64
+	admittedLifetime atomic.Int64
+}
+
+func newAdmission(workers, queueDepth int, queueWait time.Duration) *admission {
+	return &admission{
+		slots:      make(chan struct{}, workers),
+		queueDepth: int64(queueDepth),
+		queueWait:  queueWait,
+	}
+}
+
+// acquire blocks until a worker slot is free (bounded by the queue depth,
+// the queue wait and the request context) and returns the release
+// function, or reports why admission was refused.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	if a.queued.Add(1) > a.queueDepth {
+		a.queued.Add(-1)
+		a.rejectedFull.Add(1)
+		return nil, errQueueFull
+	}
+	defer a.queued.Add(-1)
+
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+	case <-timer.C:
+		a.rejectedTimeout.Add(1)
+		return nil, errQueueTimeout
+	case <-ctx.Done():
+		// Client abandonment, not server overload: don't book it as a
+		// timeout rejection.
+		return nil, ctx.Err()
+	}
+	a.active.Add(1)
+	a.admittedLifetime.Add(1)
+	return func() {
+		a.active.Add(-1)
+		<-a.slots
+	}, nil
+}
+
+// AdmissionStats is the JSON rendering of the controller's state.
+type AdmissionStats struct {
+	Workers         int   `json:"workers"`
+	QueueDepth      int   `json:"queue_depth"`
+	Active          int64 `json:"active"`
+	Queued          int64 `json:"queued"`
+	Admitted        int64 `json:"admitted"`
+	RejectedFull    int64 `json:"rejected_full"`
+	RejectedTimeout int64 `json:"rejected_timeout"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		Workers:         cap(a.slots),
+		QueueDepth:      int(a.queueDepth),
+		Active:          a.active.Load(),
+		Queued:          a.queued.Load(),
+		Admitted:        a.admittedLifetime.Load(),
+		RejectedFull:    a.rejectedFull.Load(),
+		RejectedTimeout: a.rejectedTimeout.Load(),
+	}
+}

@@ -1,0 +1,658 @@
+// Package server is EmptyHeaded's query service: an HTTP/JSON facade over
+// core.Engine that serves concurrent datalog queries with an LRU plan
+// cache (keyed by normalized query fingerprints, so repeated queries skip
+// parsing and GHD optimization the way the paper's compiler amortizes
+// codegen across runs), a result cache invalidated on relation mutation,
+// and a bounded worker-pool admission controller.
+//
+// Endpoints:
+//
+//	POST /query     {"query": "...", "limit": 100}        run a datalog program
+//	POST /explain   {"query": "..."}                      render the physical plan
+//	GET  /relations                                       catalog of stored relations
+//	POST /load      {"name": "Edge", "path"|"edges"|...}  load a relation, invalidate caches
+//	GET  /stats                                           per-endpoint latency + cache counters
+//	GET  /healthz                                         liveness
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"emptyheaded/internal/core"
+	"emptyheaded/internal/datalog"
+	"emptyheaded/internal/exec"
+	"emptyheaded/internal/graph"
+	"emptyheaded/internal/semiring"
+)
+
+// Config sizes the service; zero values take the documented defaults.
+type Config struct {
+	// Workers bounds concurrently executing queries (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot (default
+	// 4×Workers); beyond it requests 503 at once. Up to Workers more are
+	// executing, so Workers+QueueDepth requests can be in flight.
+	QueueDepth int
+	// QueueWait bounds time spent waiting for a worker slot (default 2s).
+	QueueWait time.Duration
+	// PlanCacheSize is the number of cached prepared plans (default 256).
+	PlanCacheSize int
+	// ResultCacheSize is the number of cached query results (default 128).
+	ResultCacheSize int
+	// MaxCachedTuples: results with more tuples than this are not cached
+	// (default 65536).
+	MaxCachedTuples int
+	// DefaultLimit caps tuples rendered in a response when the request
+	// doesn't set its own limit (default 1000).
+	DefaultLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 256
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 128
+	}
+	if c.MaxCachedTuples <= 0 {
+		c.MaxCachedTuples = 65536
+	}
+	if c.DefaultLimit <= 0 {
+		c.DefaultLimit = 1000
+	}
+	return c
+}
+
+// Server wraps one engine behind the HTTP query service. The engine's
+// Opts must not be mutated once the server is serving.
+type Server struct {
+	eng     *core.Engine
+	cfg     Config
+	plans   *planCache
+	results *lruCache
+	adm     *admission
+	start   time.Time
+
+	endpoints map[string]*latencyWindow
+}
+
+// New builds a server over eng. When the engine doesn't pin per-query
+// parallelism explicitly, it is set so that Workers concurrent queries
+// together use roughly GOMAXPROCS goroutines.
+func New(eng *core.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if eng.Opts.Parallelism == 0 {
+		if p := runtime.GOMAXPROCS(0) / cfg.Workers; p > 1 {
+			eng.Opts.Parallelism = p
+		} else {
+			eng.Opts.Parallelism = 1
+		}
+	}
+	s := &Server{
+		eng:     eng,
+		cfg:     cfg,
+		plans:   newPlanCache(cfg.PlanCacheSize),
+		results: newLRUCache(cfg.ResultCacheSize),
+		adm:     newAdmission(cfg.Workers, cfg.QueueDepth, cfg.QueueWait),
+		start:   time.Now(),
+		endpoints: map[string]*latencyWindow{
+			"/query":     newLatencyWindow(),
+			"/explain":   newLatencyWindow(),
+			"/relations": newLatencyWindow(),
+			"/load":      newLatencyWindow(),
+			"/stats":     newLatencyWindow(),
+		},
+	}
+	return s
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.instrument("/query", s.handleQuery))
+	mux.HandleFunc("/explain", s.instrument("/explain", s.handleExplain))
+	mux.HandleFunc("/relations", s.instrument("/relations", s.handleRelations))
+	mux.HandleFunc("/load", s.instrument("/load", s.handleLoad))
+	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+// statusRecorder captures the response code for error accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	lw := s.endpoints[path]
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(rec, r)
+		lw.observe(time.Since(t0), rec.code >= 400)
+	}
+}
+
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		code = he.code
+	case errors.Is(err, errQueueFull), errors.Is(err, errQueueTimeout),
+		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Context errors reach here when the client went away while the
+		// request waited for a worker slot.
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, exec.ErrTimeout):
+		code = http.StatusGatewayTimeout
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// QueryRequest is the /query body.
+type QueryRequest struct {
+	Query string `json:"query"`
+	// Limit caps tuples in the response (0 = server default; scalar
+	// results are unaffected).
+	Limit int `json:"limit,omitempty"`
+	// NoCache skips the result cache for this request (it still
+	// populates and uses the plan cache).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// QueryResponse is the /query reply.
+type QueryResponse struct {
+	Name        string    `json:"name"`
+	Attrs       []string  `json:"attrs,omitempty"`
+	Cardinality int       `json:"cardinality"`
+	Scalar      *float64  `json:"scalar,omitempty"`
+	Tuples      [][]int64 `json:"tuples,omitempty"`
+	// Anns holds per-tuple annotations, aligned with Tuples, when the
+	// result is annotated.
+	Anns      []float64 `json:"anns,omitempty"`
+	Truncated bool      `json:"truncated,omitempty"`
+	ElapsedUS int64     `json:"elapsed_us"`
+	// PlanCached: the compiled plan (or at least the parse) came from
+	// the plan cache. ResultCached: the whole response did.
+	PlanCached   bool `json:"plan_cached"`
+	ResultCached bool `json:"result_cached"`
+}
+
+type cachedResult struct {
+	epoch uint64
+	resp  QueryResponse
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, badRequest("bad request body: %v", err))
+		return
+	}
+	if req.Query == "" {
+		writeErr(w, badRequest("missing \"query\""))
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = s.cfg.DefaultLimit
+	}
+	t0 := time.Now()
+
+	// Fast path: an exact-text repeat whose result is cached is served
+	// without taking a worker slot — a map lookup shouldn't queue behind
+	// heavy joins.
+	if !req.NoCache {
+		if resp, ok := s.cachedByText(req.Query, limit); ok {
+			resp.ElapsedUS = time.Since(t0).Microseconds()
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
+	// The admission gate bounds all remaining per-query work — parsing
+	// and GHD compilation included, since on a cache miss the optimizer
+	// is the expensive step the plan cache exists to amortize.
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := s.runQuery(&req, limit)
+	release()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp.ElapsedUS = time.Since(t0).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// cachedByText resolves an exact query text through the alias layer (no
+// parsing) and serves a fresh result-cache entry, re-labeled with this
+// spelling's attribute names. All lookups use peek so the full path's
+// accounting isn't double-booked when this misses.
+func (s *Server) cachedByText(query string, limit int) (QueryResponse, bool) {
+	av, ok := s.plans.aliases.peek(query)
+	if !ok {
+		return QueryResponse{}, false
+	}
+	alias := av.(*aliasEntry)
+	rv, ok := s.results.peek(fmt.Sprintf("%s/%d", alias.fp, limit))
+	if !ok {
+		return QueryResponse{}, false
+	}
+	cr := rv.(*cachedResult)
+	if cr.epoch != s.eng.Version() {
+		return QueryResponse{}, false
+	}
+	resp := cr.resp
+	resp.Attrs = mapAttrs(resp.Attrs, alias.canonToClient)
+	resp.ResultCached = true
+	resp.PlanCached = true
+	// peek skipped the accounting; book the served hits explicitly. A
+	// fast-path serve is a plan-cache hit too: the cached plan's result
+	// is what made skipping execution possible.
+	s.plans.aliases.noteHit()
+	s.plans.plans.noteHit()
+	s.results.noteHit()
+	return resp, true
+}
+
+// mapAttrs relabels result attributes through m, keeping names m doesn't
+// cover. Cached responses carry canonical (fingerprint-namespace) names,
+// so a serve maps canonical → client spelling regardless of which
+// spelling originally computed the result.
+func mapAttrs(attrs []string, m map[string]string) []string {
+	if len(attrs) == 0 {
+		return attrs
+	}
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		if v, ok := m[a]; ok {
+			out[i] = v
+		} else {
+			out[i] = a
+		}
+	}
+	return out
+}
+
+// runQuery executes one admitted /query request.
+func (s *Server) runQuery(req *QueryRequest, limit int) (QueryResponse, error) {
+	// Fork per request: the query runs against a consistent snapshot of
+	// relations + dictionary (a concurrent /load can't swap data mid
+	// query), and intermediate head relations stay session-local. The
+	// fork's version is the epoch every cache interaction keys on.
+	fork := s.eng.DB.Fork()
+	epoch := fork.Version()
+	entry, alias, planHit, err := s.prepared(req.Query, fork, epoch)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+
+	resultKey := fmt.Sprintf("%s/%d", entry.fp, limit)
+	if !req.NoCache {
+		if v, ok := s.results.get(resultKey); ok {
+			cr := v.(*cachedResult)
+			if cr.epoch == epoch {
+				resp := cr.resp // copy; attrs re-labeled per spelling
+				resp.Attrs = mapAttrs(resp.Attrs, alias.canonToClient)
+				resp.ResultCached = true
+				resp.PlanCached = planHit
+				return resp, nil
+			}
+			s.results.remove(resultKey) // stale epoch
+		}
+	}
+
+	prep, err := s.freshPrep(entry, fork, epoch)
+	if err != nil {
+		// Recompile against the fork failed (e.g. a relation vanished
+		// since the entry was cached).
+		s.plans.plans.remove(entry.fp)
+		return QueryResponse{}, badRequest("compile: %v", err)
+	}
+	res, err := prep.Run(fork)
+	if err != nil {
+		if !errors.Is(err, exec.ErrTimeout) {
+			err = badRequest("%v", err)
+		}
+		return QueryResponse{}, err
+	}
+
+	resp := s.render(res, limit, fork.Dict())
+	resp.PlanCached = planHit
+	// Canonicalize attribute names before caching so a future serve (or a
+	// recreated plan entry) can re-label them for any spelling.
+	resp.Attrs = mapAttrs(resp.Attrs, entry.attrToCanon)
+	if !req.NoCache && res.Trie.Cardinality() <= s.cfg.MaxCachedTuples {
+		s.results.put(resultKey, &cachedResult{epoch: epoch, resp: resp})
+	}
+	resp.Attrs = mapAttrs(resp.Attrs, alias.canonToClient)
+	return resp, nil
+}
+
+// prepared resolves query text to a cached plan entry: exact text hit (no
+// parse), fingerprint hit (re-parse, reuse compilation), or full prepare
+// against the request's fork. Returns the entry, the alias carrying this
+// spelling's attribute renaming, and whether the plan cache hit.
+func (s *Server) prepared(query string, fork *exec.DB, epoch uint64) (*planEntry, *aliasEntry, bool, error) {
+	lookup := func(fp string) *planEntry {
+		if v, ok := s.plans.plans.get(fp); ok {
+			return v.(*planEntry)
+		}
+		return nil
+	}
+
+	var entry *planEntry
+	var alias *aliasEntry
+	if v, ok := s.plans.aliases.get(query); ok {
+		alias = v.(*aliasEntry)
+		entry = lookup(alias.fp)
+	}
+	hit := entry != nil
+
+	if entry == nil {
+		prog, err := datalog.Parse(query)
+		if err != nil {
+			return nil, nil, false, badRequest("parse: %v", err)
+		}
+		s.plans.mu.Lock()
+		s.plans.parses++
+		s.plans.mu.Unlock()
+		varMap := prog.FinalVarMap()
+		alias = &aliasEntry{fp: prog.Fingerprint(), canonToClient: invert(varMap)}
+		entry = lookup(alias.fp)
+		hit = entry != nil
+		if entry == nil {
+			prep, err := exec.Prepare(fork, prog, s.eng.Opts)
+			if err != nil {
+				return nil, nil, false, badRequest("compile: %v", err)
+			}
+			entry = &planEntry{fp: alias.fp, prog: prog, attrToCanon: varMap, prep: prep, epoch: epoch}
+			s.plans.plans.put(alias.fp, entry)
+		}
+		s.plans.aliases.put(query, alias)
+	}
+	return entry, alias, hit, nil
+}
+
+// freshPrep returns the entry's prepared plan, recompiling against the
+// request's fork when the cached compilation belongs to another epoch
+// (compiled constants are dictionary-encoded and GHD width estimates
+// reflect cardinalities). entry.prep/epoch are guarded by plans.mu; a
+// Prepared itself is immutable and safe to share.
+func (s *Server) freshPrep(entry *planEntry, fork *exec.DB, epoch uint64) (*exec.Prepared, error) {
+	s.plans.mu.Lock()
+	prep, stale := entry.prep, entry.epoch != epoch
+	s.plans.mu.Unlock()
+	if !stale {
+		return prep, nil
+	}
+	fresh, err := exec.Prepare(fork, entry.prog, s.eng.Opts)
+	if err != nil {
+		return nil, err
+	}
+	s.plans.mu.Lock()
+	entry.prep = fresh
+	entry.epoch = epoch
+	s.plans.recompiles++
+	s.plans.mu.Unlock()
+	return fresh, nil
+}
+
+// invert flips a var→canonical map into canonical→var.
+func invert(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// render decodes a result into the wire shape, translating dense codes
+// back to original vertex identifiers through the dictionary snapshot of
+// the fork the query executed on (the live dictionary may already belong
+// to a newer load).
+func (s *Server) render(res *exec.Result, limit int, dict *graph.Dictionary) QueryResponse {
+	resp := QueryResponse{
+		Name:        res.Name,
+		Attrs:       res.Attrs,
+		Cardinality: res.Trie.Cardinality(),
+	}
+	if res.Trie.Arity == 0 {
+		v := res.Scalar()
+		resp.Scalar = &v
+		return resp
+	}
+	annotated := res.Trie.Annotated
+	res.ForEach(func(tuple []uint32, ann float64) {
+		if len(resp.Tuples) >= limit {
+			resp.Truncated = true
+			return
+		}
+		row := make([]int64, len(tuple))
+		for i, c := range tuple {
+			if dict != nil {
+				row[i] = dict.Decode(c)
+			} else {
+				row[i] = int64(c)
+			}
+		}
+		resp.Tuples = append(resp.Tuples, row)
+		if annotated {
+			resp.Anns = append(resp.Anns, ann)
+		}
+	})
+	return resp
+}
+
+// ExplainRequest is the /explain body.
+type ExplainRequest struct {
+	Query string `json:"query"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	var req ExplainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, badRequest("bad request body: %v", err))
+		return
+	}
+	// Explain does the same parse + GHD-compile work as a query miss, so
+	// it shares the admission gate.
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	plan, err := s.eng.Explain(req.Query)
+	release()
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
+}
+
+func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"relations": s.eng.Relations()})
+}
+
+// LoadRequest is the /load body; exactly one of Path, Edges or Tuples
+// must be set. Path and Edges load a binary edge relation (Path reads a
+// "src dst" edge-list file server-side, rebuilding the identifier
+// dictionary); Tuples loads a generic relation of the given arity from
+// dense codes, optionally annotated under Op.
+type LoadRequest struct {
+	Name       string     `json:"name"`
+	Path       string     `json:"path,omitempty"`
+	Undirected bool       `json:"undirected,omitempty"`
+	Edges      [][2]int64 `json:"edges,omitempty"`
+	Tuples     [][]uint32 `json:"tuples,omitempty"`
+	Arity      int        `json:"arity,omitempty"`
+	Anns       []float64  `json:"anns,omitempty"`
+	Op         string     `json:"op,omitempty"`
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	var req LoadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, badRequest("bad request body: %v", err))
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, badRequest("missing \"name\""))
+		return
+	}
+	t0 := time.Now()
+	// Graph parsing and trie construction are heavy; bound them by the
+	// same worker pool as queries.
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	err = s.load(&req)
+	release()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Every load invalidates cached results; plan-cache entries recompile
+	// lazily via the epoch check.
+	s.results.purge()
+	rel, _ := s.eng.DB.Relation(req.Name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":        req.Name,
+		"arity":       rel.Arity,
+		"cardinality": rel.Cardinality(),
+		"elapsed_us":  time.Since(t0).Microseconds(),
+	})
+}
+
+func (s *Server) load(req *LoadRequest) error {
+	switch {
+	case req.Path != "":
+		f, err := os.Open(req.Path)
+		if err != nil {
+			return badRequest("open %s: %v", req.Path, err)
+		}
+		defer f.Close()
+		return s.eng.LoadEdgeList(req.Name, f, req.Undirected)
+	case req.Edges != nil:
+		g, dict := graph.FromEdgePairs(req.Edges, req.Undirected)
+		s.eng.LoadGraphWithDict(req.Name, g, dict)
+		return nil
+	case req.Tuples != nil:
+		if req.Arity <= 0 {
+			return badRequest("tuple load requires \"arity\"")
+		}
+		for _, t := range req.Tuples {
+			if len(t) != req.Arity {
+				return badRequest("tuple %v does not match arity %d", t, req.Arity)
+			}
+		}
+		if req.Anns == nil {
+			s.eng.AddRelation(req.Name, req.Arity, req.Tuples)
+			return nil
+		}
+		op, err := semiring.ParseOp(req.Op)
+		if err != nil {
+			return badRequest("%v", err)
+		}
+		if err := s.eng.AddAnnotatedRelation(req.Name, req.Arity, op, req.Tuples, req.Anns); err != nil {
+			return badRequest("%v", err)
+		}
+		return nil
+	}
+	return badRequest("one of \"path\", \"edges\" or \"tuples\" required")
+}
+
+// Stats is the /stats reply.
+type Stats struct {
+	UptimeS     float64                  `json:"uptime_s"`
+	Epoch       uint64                   `json:"epoch"`
+	Relations   int                      `json:"relations"`
+	Endpoints   map[string]EndpointStats `json:"endpoints"`
+	PlanCache   PlanCacheStats           `json:"plan_cache"`
+	ResultCache CacheStats               `json:"result_cache"`
+	Admission   AdmissionStats           `json:"admission"`
+}
+
+// StatsSnapshot returns the same payload /stats serves (used by the load
+// generator to diff cache counters around a run).
+func (s *Server) StatsSnapshot() Stats {
+	eps := make(map[string]EndpointStats, len(s.endpoints))
+	for p, lw := range s.endpoints {
+		eps[p] = lw.snapshot()
+	}
+	return Stats{
+		UptimeS:     time.Since(s.start).Seconds(),
+		Epoch:       s.eng.Version(),
+		Relations:   len(s.eng.DB.Names()),
+		Endpoints:   eps,
+		PlanCache:   s.plans.stats(),
+		ResultCache: s.results.stats(),
+		Admission:   s.adm.stats(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}

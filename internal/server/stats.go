@@ -1,0 +1,81 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"emptyheaded/internal/quantile"
+)
+
+// latencyWindow aggregates request latencies for one endpoint: exact
+// count/error/sum/max over the process lifetime plus a sliding window of
+// recent samples for percentile estimates (p50/p99 are computed over the
+// last windowSize observations, which is what an operator watching a live
+// service wants — a process-lifetime p99 would never recover from one
+// cold start).
+type latencyWindow struct {
+	mu     sync.Mutex
+	count  int64
+	errors int64
+	sum    time.Duration
+	max    time.Duration
+	ring   []time.Duration
+	idx    int
+	filled bool
+}
+
+const windowSize = 2048
+
+func newLatencyWindow() *latencyWindow {
+	return &latencyWindow{ring: make([]time.Duration, windowSize)}
+}
+
+func (l *latencyWindow) observe(d time.Duration, isErr bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count++
+	if isErr {
+		l.errors++
+	}
+	l.sum += d
+	if d > l.max {
+		l.max = d
+	}
+	l.ring[l.idx] = d
+	l.idx++
+	if l.idx == len(l.ring) {
+		l.idx = 0
+		l.filled = true
+	}
+}
+
+// EndpointStats is the JSON rendering of one endpoint's counters.
+type EndpointStats struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	AvgUS    float64 `json:"avg_us"`
+	P50US    float64 `json:"p50_us"`
+	P99US    float64 `json:"p99_us"`
+	MaxUS    float64 `json:"max_us"`
+}
+
+func (l *latencyWindow) snapshot() EndpointStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := EndpointStats{Requests: l.count, Errors: l.errors}
+	if l.count == 0 {
+		return s
+	}
+	s.AvgUS = float64(l.sum.Microseconds()) / float64(l.count)
+	s.MaxUS = float64(l.max.Microseconds())
+	n := l.idx
+	if l.filled {
+		n = len(l.ring)
+	}
+	samples := append([]time.Duration(nil), l.ring[:n]...)
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	s.P50US = float64(samples[quantile.Index(len(samples), 0.50)].Microseconds())
+	s.P99US = float64(samples[quantile.Index(len(samples), 0.99)].Microseconds())
+	return s
+}
