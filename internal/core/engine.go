@@ -90,26 +90,59 @@ func (e *Engine) LoadEdgeList(name string, r io.Reader, undirected bool) error {
 	return nil
 }
 
-// AddRelation registers an arbitrary relation from tuples.
+// AddRelation registers an arbitrary relation from tuples: rows are
+// transposed into columns in one pass and handed to the columnar builder,
+// skipping the per-tuple Add path entirely.
 func (e *Engine) AddRelation(name string, arity int, tuples [][]uint32) {
-	b := trie.NewBuilder(arity, semiring.None, e.Opts.Layout)
-	for _, t := range tuples {
-		b.Add(t...)
-	}
-	e.DB.AddTrie(name, b.Build())
+	e.DB.AddTrie(name, trie.FromColumns(transpose(arity, tuples), nil, semiring.None, e.Opts.Layout))
 }
 
-// AddAnnotatedRelation registers an annotated relation.
+// AddAnnotatedRelation registers an annotated relation via the same
+// columnar bulk path.
 func (e *Engine) AddAnnotatedRelation(name string, arity int, op semiring.Op, tuples [][]uint32, anns []float64) error {
 	if len(tuples) != len(anns) {
 		return fmt.Errorf("core: %d tuples, %d annotations", len(tuples), len(anns))
 	}
-	b := trie.NewBuilder(arity, op, e.Opts.Layout)
-	for i, t := range tuples {
-		b.AddAnn(anns[i], t...)
-	}
-	e.DB.AddTrie(name, b.Build())
+	e.DB.AddTrie(name, trie.FromColumns(transpose(arity, tuples), anns, op, e.Opts.Layout))
 	return nil
+}
+
+// AddRelationColumns registers a relation given column-wise: cols[i]
+// holds attribute i of every row, anns is nil for un-annotated relations.
+// The columns are handed to the trie builder zero-copy (the engine takes
+// ownership).
+func (e *Engine) AddRelationColumns(name string, cols [][]uint32, anns []float64, op semiring.Op) error {
+	n := -1
+	for _, c := range cols {
+		if n < 0 {
+			n = len(c)
+		} else if len(c) != n {
+			return fmt.Errorf("core: ragged columns (%d vs %d rows)", len(c), n)
+		}
+	}
+	if anns != nil && n >= 0 && len(anns) != n {
+		return fmt.Errorf("core: %d rows, %d annotations", n, len(anns))
+	}
+	e.DB.AddTrie(name, trie.FromColumns(cols, anns, op, e.Opts.Layout))
+	return nil
+}
+
+// transpose flips row-major tuples into column-major slices, allocating
+// each column exactly once.
+func transpose(arity int, tuples [][]uint32) [][]uint32 {
+	cols := make([][]uint32, arity)
+	for c := range cols {
+		cols[c] = make([]uint32, len(tuples))
+	}
+	for i, t := range tuples {
+		if len(t) != arity {
+			panic(fmt.Sprintf("core: tuple arity %d, want %d", len(t), arity))
+		}
+		for c, v := range t {
+			cols[c][i] = v
+		}
+	}
+	return cols
 }
 
 // Alias registers `alias` as another name for relation `target` (the

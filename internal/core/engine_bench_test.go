@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"emptyheaded/internal/graph"
+	"emptyheaded/internal/semiring"
+)
+
+// Bulk-load benchmarks: unsorted tuples → trie, the /load hot path.
+
+func benchTuples(n int) ([][]uint32, [][]uint32) {
+	rng := rand.New(rand.NewSource(17))
+	tuples := make([][]uint32, n)
+	cols := [][]uint32{make([]uint32, n), make([]uint32, n)}
+	for i := range tuples {
+		u, v := uint32(rng.Intn(1<<17)), uint32(rng.Intn(1<<17))
+		tuples[i] = []uint32{u, v}
+		cols[0][i], cols[1][i] = u, v
+	}
+	return tuples, cols
+}
+
+func BenchmarkBulkLoadTuples(b *testing.B) {
+	tuples, _ := benchTuples(1 << 18)
+	eng := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.AddRelation("R", 2, tuples)
+	}
+}
+
+func BenchmarkBulkLoadColumns(b *testing.B) {
+	_, cols := benchTuples(1 << 18)
+	eng := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := [][]uint32{append([]uint32(nil), cols[0]...), append([]uint32(nil), cols[1]...)}
+		if err := eng.AddRelationColumns("R", c, nil, semiring.None); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEdgeListIngest(b *testing.B) {
+	_, cols := benchTuples(1 << 18)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.FromEdgeColumns(1<<17, cols[0], cols[1], true)
+		if g.Edges() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}

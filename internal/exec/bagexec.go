@@ -41,10 +41,11 @@ func (p *Plan) Run() (*Result, error) {
 		final = p.Assembly
 	}
 	res := &Result{
-		Name:  p.Rule.Head.Name,
-		Attrs: final.OutAttrs,
-		Trie:  out,
-		Plan:  p,
+		Name:      p.Rule.Head.Name,
+		Attrs:     final.OutAttrs,
+		Trie:      out,
+		Plan:      p,
+		Truncated: p.truncated,
 	}
 	return res, nil
 }
@@ -115,11 +116,32 @@ type bagExec struct {
 	// child bags from disconnected components, e.g. the second triangle
 	// of the Barbell-selection plan).
 	scalarFactor float64
+	// lim is non-nil when this bag is the final listing bag of a limited
+	// query (see Plan.limitFor); shared across worker clones.
+	lim *limitState
 }
 
 type curRef struct {
 	c         *cursor
 	atomLevel int
+}
+
+// limitState is the cooperative row budget shared by all workers of a
+// limited listing bag (the limit-pushdown path): emitted counts output
+// rows across workers, hit latches once the budget is spent so every
+// loop nest unwinds at its next candidate value.
+type limitState struct {
+	limit   int64
+	emitted atomic.Int64
+	hit     atomic.Bool
+}
+
+func (ls *limitState) stopped() bool { return ls != nil && ls.hit.Load() }
+
+func (ls *limitState) note() {
+	if ls != nil && ls.emitted.Add(1) >= ls.limit {
+		ls.hit.Store(true)
+	}
 }
 
 // execBag runs the generic worst-case optimal join (Algorithm 1) for one
@@ -186,14 +208,43 @@ func (p *Plan) execBag(bp *BagPlan) (*trie.Trie, error) {
 		// All-constant bag: the result is the scalar factor.
 		return trie.NewScalar(ex.scalarFactor, op), nil
 	}
-	rows, anns, scalar, err := ex.runParallel()
+	if n := p.limitFor(bp); n > 0 {
+		ex.lim = &limitState{limit: int64(n)}
+	}
+	cols, anns, scalar, err := ex.runParallel()
 	if err != nil {
 		return nil, err
 	}
 	if p.stop != nil && p.stop.Load() {
 		return nil, ErrTimeout
 	}
-	return ex.materialize(rows, anns, scalar), nil
+	if ex.lim.stopped() {
+		p.truncated = true
+	}
+	return ex.materialize(cols, anns, scalar), nil
+}
+
+// limitFor reports the row budget to push into bp, or 0. Pushdown applies
+// only to the bag that produces the final listing (the assembly when
+// present, else the root) and only without aggregation; inner bags always
+// materialize fully, since their results feed joins. The budget counts
+// emitted rows: when every loop-nest level is an output level each emit
+// is a distinct tuple and the result holds at least Limit tuples; with
+// projected-away variables duplicates fold in the builder, so the
+// truncated result may hold fewer than Limit tuples — a best-effort
+// prefix, which is what a limit:N exploration request wants.
+func (p *Plan) limitFor(bp *BagPlan) int {
+	if p.opts.Limit <= 0 || p.Agg.Present {
+		return 0
+	}
+	final := p.Root
+	if p.Assembly != nil {
+		final = p.Assembly
+	}
+	if bp != final || len(bp.OutAttrs) == 0 {
+		return 0
+	}
+	return p.opts.Limit
 }
 
 func (p *Plan) aggOp() semiring.Op {
@@ -255,11 +306,14 @@ func (ex *bagExec) emptyResult() *trie.Trie {
 	return b.Build()
 }
 
-// worker holds one goroutine's accumulation state.
+// worker holds one goroutine's accumulation state. Output accumulates
+// column-wise: cols[i] holds output attribute i of every emitted row, so
+// an emit is one append per attribute (no per-row allocation) and the
+// result hands straight to the columnar trie builder.
 type worker struct {
 	ex     *bagExec
 	outBuf []uint32
-	rows   [][]uint32
+	cols   [][]uint32
 	anns   []float64
 	scalar float64
 	tick   uint32 // timeout check pacing
@@ -321,7 +375,18 @@ func (w *worker) countAtBuf(lvl int) int {
 	return set.IntersectCountCfg(cur, ex.levelSet(refs[len(refs)-1]), ex.cfg)
 }
 
-// runParallel splits the first variable level across workers.
+// stealBlockMax bounds the work-stealing block size: small enough that a
+// handful of power-law high-degree vertices spread across workers instead
+// of serializing the tail, large enough to amortize the atomic claim and
+// the per-block set construction.
+const stealBlockMax = 64
+
+// runParallel distributes the first variable level across workers with
+// work stealing: the sorted first-level values are split into fixed-size
+// blocks claimed off an atomic cursor, so workers that drew cheap (low
+// degree) values keep pulling blocks while a worker stuck on a skewed
+// high-degree vertex finishes its one block. Output accumulates in
+// per-worker columns, concatenated once at the end.
 func (ex *bagExec) runParallel() ([][]uint32, []float64, float64, error) {
 	nw := ex.p.opts.Parallelism
 	if nw <= 0 {
@@ -329,47 +394,77 @@ func (ex *bagExec) runParallel() ([][]uint32, []float64, float64, error) {
 	}
 	first := ex.intersectionAt(0)
 	if first.IsEmpty() {
-		return nil, nil, ex.op.Zero(), nil
+		return make([][]uint32, len(ex.bp.OutAttrs)), nil, ex.op.Zero(), nil
 	}
 	if nw > first.Card() {
 		nw = first.Card()
 	}
 	if nw <= 1 || len(ex.bp.Attrs) == 1 {
-		w := &worker{ex: ex, outBuf: make([]uint32, len(ex.bp.OutAttrs)), scalar: ex.op.Zero()}
+		w := ex.newWorker()
 		w.initScratch(len(ex.bp.Attrs))
 		w.levelValues(0, first, ex.scalarFactor)
-		return w.rows, w.anns, w.scalar, nil
+		return w.cols, w.anns, w.scalar, nil
 	}
 	vals := first.Slice()
-	chunk := (len(vals) + nw - 1) / nw
+	block := len(vals) / (nw * 8)
+	if block < 1 {
+		block = 1
+	}
+	if block > stealBlockMax {
+		block = stealBlockMax
+	}
 	workers := make([]*worker, 0, nw)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < len(vals); i += chunk {
-		hi := i + chunk
-		if hi > len(vals) {
-			hi = len(vals)
-		}
-		w := &worker{ex: ex, outBuf: make([]uint32, len(ex.bp.OutAttrs)), scalar: ex.op.Zero()}
+	for i := 0; i < nw; i++ {
 		// Each worker needs private cursor state below level 0.
-		w = w.withPrivateCursors()
+		w := ex.newWorker().withPrivateCursors()
 		w.initScratch(len(ex.bp.Attrs))
 		workers = append(workers, w)
 		wg.Add(1)
-		go func(w *worker, vs []uint32) {
+		go func(w *worker) {
 			defer wg.Done()
-			w.levelValues(0, set.FromSorted(vs), w.ex.scalarFactor)
-		}(w, vals[i:hi])
+			for {
+				if ex.p.stop != nil && ex.p.stop.Load() {
+					return
+				}
+				if ex.lim.stopped() {
+					return
+				}
+				lo := int(next.Add(int64(block))) - block
+				if lo >= len(vals) {
+					return
+				}
+				hi := lo + block
+				if hi > len(vals) {
+					hi = len(vals)
+				}
+				w.levelValues(0, set.FromSorted(vals[lo:hi]), w.ex.scalarFactor)
+			}
+		}(w)
 	}
 	wg.Wait()
-	var rows [][]uint32
-	var anns []float64
+	// Concatenate the per-worker columns: one flat copy per attribute, no
+	// pointer chasing, sized exactly once.
+	total := 0
+	for _, w := range workers {
+		total += len(w.anns)
+	}
+	cols := make([][]uint32, len(ex.bp.OutAttrs))
+	for c := range cols {
+		col := make([]uint32, 0, total)
+		for _, w := range workers {
+			col = append(col, w.cols[c]...)
+		}
+		cols[c] = col
+	}
+	anns := make([]float64, 0, total)
 	scalar := ex.op.Zero()
 	for _, w := range workers {
-		rows = append(rows, w.rows...)
 		anns = append(anns, w.anns...)
 		scalar = ex.op.Add(scalar, w.scalar)
 	}
-	return rows, anns, scalar, nil
+	return cols, anns, scalar, nil
 }
 
 // withPrivateCursors clones the execution state so a worker can descend
@@ -380,6 +475,7 @@ func (w *worker) withPrivateCursors() *worker {
 	ex := &bagExec{
 		p: old.p, bp: old.bp, op: old.op, cfg: old.cfg,
 		countTail: old.countTail, scalarFactor: old.scalarFactor,
+		lim: old.lim,
 	}
 	ex.perLevel = make([][]curRef, len(old.perLevel))
 	cmap := map[*cursor]*cursor{}
@@ -396,7 +492,7 @@ func (w *worker) withPrivateCursors() *worker {
 			ex.perLevel[lvl] = append(ex.perLevel[lvl], curRef{c: cmap[r.c], atomLevel: r.atomLevel})
 		}
 	}
-	return &worker{ex: ex, outBuf: w.outBuf, scalar: w.scalar}
+	return &worker{ex: ex, outBuf: w.outBuf, cols: w.cols, anns: w.anns, scalar: w.scalar}
 }
 
 // intersectionAt computes the set of candidate values at a bag level from
@@ -465,6 +561,10 @@ func (w *worker) levelValues(lvl int, candidates set.Set, ann float64) {
 	acc := ex.op.Zero()
 	folded := false
 	candidates.ForEachUntil(func(_ int, v uint32) bool {
+		if ex.lim.stopped() {
+			// Limit pushdown: the listing budget is spent; unwind.
+			return false
+		}
 		if ex.p.stop != nil {
 			// Cooperative timeout: cheap flag check per value, wall
 			// clock consulted periodically.
@@ -533,7 +633,11 @@ func (w *worker) levelValues(lvl int, candidates set.Set, ann float64) {
 		}
 		return true
 	})
-	if folded {
+	// An unwind mid-fold leaves acc partially ⊕-combined; emitting it
+	// would present an undercounted annotation as a real one. Drop it —
+	// the limit path returns a truncated result anyway, and the timeout
+	// path discards the whole result.
+	if folded && !ex.lim.stopped() {
 		w.emit(acc)
 	}
 }
@@ -589,28 +693,37 @@ func (ex *bagExec) exists(lvl int) bool {
 }
 
 // emit records one output row (or folds into the scalar when the bag has
-// no output attributes).
+// no output attributes): one amortized append per output attribute.
 func (w *worker) emit(ann float64) {
 	if len(w.ex.bp.OutAttrs) == 0 {
 		w.scalar = w.ex.op.Add(w.scalar, ann)
 		return
 	}
-	row := make([]uint32, len(w.outBuf))
-	copy(row, w.outBuf)
-	w.rows = append(w.rows, row)
+	for i, v := range w.outBuf {
+		w.cols[i] = append(w.cols[i], v)
+	}
 	w.anns = append(w.anns, ann)
+	w.ex.lim.note()
 }
 
-// materialize folds the emitted rows into the bag's output trie,
-// combining duplicate rows with ⊕ (the early aggregation GHDs enable,
-// §3.1.1).
-func (ex *bagExec) materialize(rows [][]uint32, anns []float64, scalar float64) *trie.Trie {
+// newWorker allocates one goroutine's accumulation state.
+func (ex *bagExec) newWorker() *worker {
+	w := &worker{ex: ex, outBuf: make([]uint32, len(ex.bp.OutAttrs)), scalar: ex.op.Zero()}
+	w.cols = make([][]uint32, len(ex.bp.OutAttrs))
+	return w
+}
+
+// materialize hands the emitted columns to the columnar trie builder
+// zero-copy; duplicate rows combine with ⊕ (the early aggregation GHDs
+// enable, §3.1.1).
+func (ex *bagExec) materialize(cols [][]uint32, anns []float64, scalar float64) *trie.Trie {
 	if len(ex.bp.OutAttrs) == 0 {
 		return trie.NewScalar(scalar, ex.op)
 	}
-	b := trie.NewBuilder(len(ex.bp.OutAttrs), ex.op, ex.p.opts.layout())
-	for i, r := range rows {
-		b.AddAnn(anns[i], r...)
+	b := trie.NewColumnarBuilder(len(ex.bp.OutAttrs), ex.op, ex.p.opts.layout())
+	if len(anns) == 0 {
+		anns = nil // no emits: an empty un-annotated trie, as before
 	}
+	b.SetColumns(cols, anns)
 	return b.Build()
 }

@@ -1,0 +1,57 @@
+package exec
+
+import (
+	"testing"
+
+	"emptyheaded/internal/datalog"
+	"emptyheaded/internal/gen"
+	"emptyheaded/internal/graph"
+)
+
+// Materialization-heavy benchmarks: listing queries whose output dwarfs
+// their intermediate work, so builder and emit costs dominate.
+
+func benchListing(b *testing.B, query string, par int) {
+	benchListingOn(b, gen.PowerLaw(3000, 60000, 2.2, 5), query, par)
+}
+
+func benchListingOn(b *testing.B, g *graph.Graph, query string, par int) {
+	db := dbWithGraph(g)
+	prog, err := datalog.Parse(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := Prepare(db, prog, Options{Parallelism: par})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pr.Run(db.Fork())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cardinality() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTriangleListing(b *testing.B) {
+	benchListing(b, `Tri(x,y,z) :- R(x,y),S(y,z),T(x,z).`, 0)
+}
+
+func BenchmarkTriangleListingSerial(b *testing.B) {
+	benchListing(b, `Tri(x,y,z) :- R(x,y),S(y,z),T(x,z).`, 1)
+}
+
+func BenchmarkTwoPathListing(b *testing.B) {
+	// Smaller graph: the 2-path output grows with Σdeg², which explodes
+	// under power-law skew.
+	benchListingOn(b, gen.PowerLaw(1200, 15000, 2.2, 5), `P2(x,z) :- R(x,y),S(y,z).`, 0)
+}
+
+func BenchmarkTriangleCount(b *testing.B) {
+	benchListing(b, `TC(;w:long) :- R(x,y),S(y,z),T(x,z); w=<<COUNT(*)>>.`, 0)
+}

@@ -2,6 +2,12 @@
 // datalog rules against GHD query plans (§3) and runs the generic
 // worst-case optimal join inside each bag with Yannakakis' algorithm
 // across bags (§3.3), over the skew-optimized trie storage (§4).
+//
+// Each bag's outer loop is scheduled with work stealing (small blocks of
+// first-level values claimed off an atomic cursor, so skewed high-degree
+// vertices don't serialize the tail), workers emit output column-wise,
+// and results materialize through the columnar trie builder — the loop
+// nest and the materialization path are allocation-free per tuple.
 package exec
 
 import (
@@ -237,19 +243,27 @@ func (r *Relation) Index(perm []int, layout trie.LayoutFunc, layoutName string) 
 	if identity && layoutName == "auto" && r.canonical != nil {
 		t = r.canonical
 	} else {
-		b := trie.NewBuilder(r.Arity, r.Op, layout)
-		buf := make([]uint32, r.Arity)
+		// Re-sort the permuted columns through the columnar builder: one
+		// enumeration pass fills exact-size columns, the radix sort does
+		// the rest (no per-tuple buffers or comparison closures).
+		n := r.canonical.Cardinality()
+		cols := make([][]uint32, r.Arity)
+		for i := range cols {
+			cols[i] = make([]uint32, 0, n)
+		}
+		var anns []float64
+		if r.Annotated {
+			anns = make([]float64, 0, n)
+		}
 		r.canonical.ForEachTuple(func(tp []uint32, ann float64) {
 			for i, p := range perm {
-				buf[i] = tp[p]
+				cols[i] = append(cols[i], tp[p])
 			}
 			if r.Annotated {
-				b.AddAnn(ann, buf...)
-			} else {
-				b.Add(buf...)
+				anns = append(anns, ann)
 			}
 		})
-		t = b.Build()
+		t = trie.FromColumns(cols, anns, r.Op, layout)
 	}
 	r.indexes[key] = t
 	return t
@@ -284,6 +298,15 @@ type Options struct {
 	// duration (0 = no limit); Run returns ErrTimeout. The benchmark
 	// harness uses it to reproduce the paper's "t/o" entries.
 	Timeout time.Duration
+	// Limit pushes a row budget into listing execution: the final listing
+	// bag stops its loop nest cooperatively once Limit output rows are
+	// emitted (Result.Truncated reports the early stop), instead of
+	// materializing the full join. It applies only to un-aggregated
+	// rules; aggregates execute in full. When the listing projects
+	// variables away, the budget counts pre-deduplication rows, so the
+	// truncated result may hold slightly fewer than Limit tuples. 0 means
+	// no limit.
+	Limit int
 }
 
 func (o Options) layout() trie.LayoutFunc {

@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"emptyheaded/internal/datalog"
+	"emptyheaded/internal/gen"
+)
+
+func mustParse(t *testing.T, query string) *datalog.Program {
+	t.Helper()
+	prog, err := datalog.Parse(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+const qTriangleListing = `Tri(x,y,z) :- R(x,y),S(y,z),T(x,z).`
+
+func TestLimitPushdownTriangleListing(t *testing.T) {
+	g := testGraph(200, 1500, 11)
+	db := dbWithGraph(g)
+	total := int(bruteTriangles(g))
+	if total < 50 {
+		t.Fatalf("graph too sparse for the test: %d triangles", total)
+	}
+
+	for _, par := range []int{1, 8} {
+		limit := 25
+		res := mustRun(t, db, qTriangleListing, Options{Limit: limit, Parallelism: par})
+		if !res.Truncated {
+			t.Fatalf("par=%d: expected truncated result", par)
+		}
+		// The stop is cooperative: every worker finishes its current
+		// candidate, so the result holds at least `limit` tuples and at
+		// most a small overshoot — never the full join.
+		if got := res.Cardinality(); got < limit || got >= total {
+			t.Fatalf("par=%d: cardinality=%d want [%d,%d)", par, got, limit, total)
+		}
+		// Whatever was materialized must be real triangles.
+		res.ForEach(func(tp []uint32, _ float64) {
+			if !hasEdge(g, tp[0], tp[1]) || !hasEdge(g, tp[1], tp[2]) || !hasEdge(g, tp[0], tp[2]) {
+				t.Fatalf("par=%d: non-triangle %v in limited result", par, tp)
+			}
+		})
+	}
+
+	// A limit above the full cardinality must not truncate anything.
+	res := mustRun(t, db, qTriangleListing, Options{Limit: total + 1})
+	if res.Truncated || res.Cardinality() != total {
+		t.Fatalf("limit>total: card=%d truncated=%v want %d,false", res.Cardinality(), res.Truncated, total)
+	}
+}
+
+func TestLimitIgnoredForAggregates(t *testing.T) {
+	g := testGraph(150, 900, 12)
+	db := dbWithGraph(g)
+	want := mustRun(t, db, qTriangleCount, OptDefault).Scalar()
+	res := mustRun(t, db, qTriangleCount, Options{Limit: 1})
+	if res.Truncated || res.Scalar() != want {
+		t.Fatalf("aggregate under limit: got %v (truncated=%v) want %v", res.Scalar(), res.Truncated, want)
+	}
+}
+
+func TestLimitPreparedPerRunOverride(t *testing.T) {
+	g := testGraph(150, 900, 13)
+	db := dbWithGraph(g)
+	prog := mustParse(t, qTriangleListing)
+	pr, err := Prepare(db, prog, OptDefault)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	full, err := pr.Run(db.Fork())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	limited, err := pr.RunLimit(db.Fork(), 10)
+	if err != nil {
+		t.Fatalf("run limited: %v", err)
+	}
+	if !limited.Truncated || limited.Cardinality() >= full.Cardinality() {
+		t.Fatalf("limited run: card=%d truncated=%v (full=%d)",
+			limited.Cardinality(), limited.Truncated, full.Cardinality())
+	}
+	// The same prepared plan must still serve unlimited runs.
+	again, err := pr.Run(db.Fork())
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if again.Truncated || again.Cardinality() != full.Cardinality() {
+		t.Fatalf("full rerun after limited: card=%d truncated=%v", again.Cardinality(), again.Truncated)
+	}
+}
+
+// TestWorkStealingMatchesSequential pins the work-stealing scheduler
+// against single-threaded execution on a power-law graph (the skewed
+// degree distribution the block scheduler exists for): identical tuples
+// and annotations regardless of worker count.
+func TestWorkStealingMatchesSequential(t *testing.T) {
+	g := gen.PowerLaw(400, 4000, 2.2, 21)
+	db := dbWithGraph(g)
+	queries := []string{
+		qTriangleListing,
+		`P2(x,z) :- R(x,y),S(y,z).`,
+		qTriangleCount,
+		`Deg(x;w:long) :- Edge(x,y); w=<<COUNT(y)>>.`,
+	}
+	for _, q := range queries {
+		want := resultKey(t, mustRun(t, db, q, Options{Parallelism: 1}))
+		for _, par := range []int{2, 4, 16} {
+			got := resultKey(t, mustRun(t, db, q, Options{Parallelism: par}))
+			if got != want {
+				t.Fatalf("query %q: parallelism %d diverges from sequential", q, par)
+			}
+		}
+	}
+}
+
+// resultKey renders a result into a canonical comparable string.
+func resultKey(t *testing.T, res *Result) string {
+	t.Helper()
+	if res.Trie.Arity == 0 {
+		return fmt.Sprintf("scalar:%v", res.Scalar())
+	}
+	var rows []string
+	res.ForEach(func(tp []uint32, ann float64) {
+		rows = append(rows, fmt.Sprintf("%v:%v", tp, ann))
+	})
+	sort.Strings(rows)
+	return fmt.Sprintf("%d|%v", res.Cardinality(), rows)
+}

@@ -33,6 +33,9 @@ type Plan struct {
 	// Cooperative timeout state (set by Run when Options.Timeout > 0).
 	deadline time.Time
 	stop     *atomic.Bool
+	// truncated reports that limit pushdown stopped the final listing bag
+	// early (Result.Truncated).
+	truncated bool
 }
 
 // AggInfo captures the semiring aggregation of a rule.

@@ -45,10 +45,21 @@ func (pr *Prepared) HasPlan() bool { return pr.plan != nil }
 // session-local. The final head relation is registered in db, matching
 // RunProgram semantics.
 func (pr *Prepared) Run(db *DB) (*Result, error) {
+	return pr.RunLimit(db, pr.opts.Limit)
+}
+
+// RunLimit executes the prepared query with a per-run listing row budget
+// (see Options.Limit); limit 0 runs to completion. The budget is a
+// per-execution override, so one cached plan serves requests with
+// different limits.
+func (pr *Prepared) RunLimit(db *DB, limit int) (*Result, error) {
 	if pr.plan == nil {
-		return RunProgram(db, pr.Prog, pr.opts)
+		opts := pr.opts
+		opts.Limit = limit
+		return RunProgram(db, pr.Prog, opts)
 	}
 	p := pr.plan.Clone(db)
+	p.opts.Limit = limit
 	res, err := runCompiled(db, p, pr.plan.Rule)
 	if err != nil {
 		return nil, err
@@ -66,6 +77,7 @@ func (p *Plan) Clone(db *DB) *Plan {
 	np.db = db
 	np.deadline = time.Time{}
 	np.stop = nil
+	np.truncated = false
 	m := map[*BagPlan]*BagPlan{}
 	np.Root = cloneBag(p.Root, m)
 	np.Assembly = cloneBag(p.Assembly, m)

@@ -19,6 +19,11 @@ const maxFixpointIters = 100000
 // rule runs the recursion executor (§3.3 "Recursion"). The result of the
 // final group is returned.
 func RunProgram(db *DB, prog *datalog.Program, opts Options) (*Result, error) {
+	// Limit pushdown only applies to the final rule group: intermediate
+	// head relations feed later rules and recursion rounds feed each
+	// other, so both must materialize fully.
+	interOpts := opts
+	interOpts.Limit = 0
 	var last *Result
 	i := 0
 	for i < len(prog.Rules) {
@@ -26,7 +31,11 @@ func RunProgram(db *DB, prog *datalog.Program, opts Options) (*Result, error) {
 		for j < len(prog.Rules) && prog.Rules[j].Head.Name == prog.Rules[i].Head.Name {
 			j++
 		}
-		res, err := runGroup(db, prog.Rules[i:j], opts)
+		ropts := interOpts
+		if j == len(prog.Rules) && !groupRecursive(prog.Rules[i:j]) {
+			ropts = opts
+		}
+		res, err := runGroup(db, prog.Rules[i:j], ropts)
 		if err != nil {
 			return nil, err
 		}
@@ -35,6 +44,15 @@ func RunProgram(db *DB, prog *datalog.Program, opts Options) (*Result, error) {
 		i = j
 	}
 	return last, nil
+}
+
+func groupRecursive(group []*datalog.Rule) bool {
+	for _, r := range group {
+		if r.Head.Recursive {
+			return true
+		}
+	}
+	return false
 }
 
 func runGroup(db *DB, group []*datalog.Rule, opts Options) (*Result, error) {

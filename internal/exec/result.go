@@ -17,6 +17,10 @@ type Result struct {
 	Trie *trie.Trie
 	// Plan is the physical plan that produced the result.
 	Plan *Plan
+	// Truncated reports that limit pushdown (Options.Limit) stopped the
+	// listing early: the trie holds roughly the first Limit tuples found,
+	// not the full result.
+	Truncated bool
 }
 
 // Scalar returns the annotation of a zero-arity result.

@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -49,19 +49,59 @@ func (g *Graph) MaxDegreeNode() uint32 {
 // each pair is inserted in both directions. Duplicate edges and self-loops
 // are dropped.
 func FromEdges(n int, edges [][2]uint32, undirected bool) *Graph {
-	adj := make([][]uint32, n)
-	for _, e := range edges {
-		u, v := e[0], e[1]
+	srcs := make([]uint32, len(edges))
+	dsts := make([]uint32, len(edges))
+	for i, e := range edges {
+		srcs[i], dsts[i] = e[0], e[1]
+	}
+	return FromEdgeColumns(n, srcs, dsts, undirected)
+}
+
+// FromEdgeColumns builds a graph from parallel src/dst columns — the
+// columnar bulk-ingestion path. Adjacency is laid out with counting-sort
+// placement into one flat backing array (two passes: degree count, then
+// scatter), so ingestion does no per-vertex append growth; each list is
+// then sorted and deduplicated in place. Duplicate edges, self-loops and
+// out-of-range endpoints are dropped.
+func FromEdgeColumns(n int, srcs, dsts []uint32, undirected bool) *Graph {
+	if len(srcs) != len(dsts) {
+		panic(fmt.Sprintf("graph: %d srcs, %d dsts", len(srcs), len(dsts)))
+	}
+	deg := make([]int, n)
+	for i := range srcs {
+		u, v := srcs[i], dsts[i]
 		if u == v || int(u) >= n || int(v) >= n {
 			continue
 		}
-		adj[u] = append(adj[u], v)
+		deg[u]++
 		if undirected {
-			adj[v] = append(adj[v], u)
+			deg[v]++
 		}
 	}
+	total := 0
+	pos := make([]int, n)
+	for v, d := range deg {
+		pos[v] = total
+		total += d
+	}
+	flat := make([]uint32, total)
+	fill := make([]int, n)
+	copy(fill, pos)
+	for i := range srcs {
+		u, v := srcs[i], dsts[i]
+		if u == v || int(u) >= n || int(v) >= n {
+			continue
+		}
+		flat[fill[u]] = v
+		fill[u]++
+		if undirected {
+			flat[fill[v]] = u
+			fill[v]++
+		}
+	}
+	adj := make([][]uint32, n)
 	for v := range adj {
-		adj[v] = sortDedup(adj[v])
+		adj[v] = sortDedup(flat[pos[v] : pos[v]+deg[v]])
 	}
 	return &Graph{N: n, Adj: adj}
 }
@@ -70,7 +110,7 @@ func sortDedup(ns []uint32) []uint32 {
 	if len(ns) == 0 {
 		return ns
 	}
-	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	slices.Sort(ns)
 	out := ns[:1]
 	for _, v := range ns[1:] {
 		if v != out[len(out)-1] {
@@ -133,11 +173,12 @@ func (d *Dictionary) Permute(perm []uint32) {
 // used by the query service's inline /load.
 func FromEdgePairs(pairs [][2]int64, undirected bool) (*Graph, *Dictionary) {
 	dict := NewDictionary()
-	edges := make([][2]uint32, 0, len(pairs))
-	for _, p := range pairs {
-		edges = append(edges, [2]uint32{dict.Encode(p[0]), dict.Encode(p[1])})
+	srcs := make([]uint32, len(pairs))
+	dsts := make([]uint32, len(pairs))
+	for i, p := range pairs {
+		srcs[i], dsts[i] = dict.Encode(p[0]), dict.Encode(p[1])
 	}
-	return FromEdges(dict.Len(), edges, undirected), dict
+	return FromEdgeColumns(dict.Len(), srcs, dsts, undirected), dict
 }
 
 // ParseEdgeList reads a whitespace-separated "src dst" edge list (# or %
@@ -145,7 +186,7 @@ func FromEdgePairs(pairs [][2]int64, undirected bool) (*Graph, *Dictionary) {
 // and returns the graph plus the dictionary.
 func ParseEdgeList(r io.Reader, undirected bool) (*Graph, *Dictionary, error) {
 	dict := NewDictionary()
-	var edges [][2]uint32
+	var srcs, dsts []uint32 // parsed straight into columns
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	line := 0
@@ -167,12 +208,13 @@ func ParseEdgeList(r io.Reader, undirected bool) (*Graph, *Dictionary, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("graph: line %d: %v", line, err)
 		}
-		edges = append(edges, [2]uint32{dict.Encode(u), dict.Encode(v)})
+		srcs = append(srcs, dict.Encode(u))
+		dsts = append(dsts, dict.Encode(v))
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, err
 	}
-	return FromEdges(dict.Len(), edges, undirected), dict, nil
+	return FromEdgeColumns(dict.Len(), srcs, dsts, undirected), dict, nil
 }
 
 // WriteEdgeList writes the graph as "src dst" lines.
@@ -197,7 +239,7 @@ func (g *Graph) Relabel(perm []uint32) *Graph {
 		for i, v := range ns {
 			out[i] = perm[v]
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		slices.Sort(out)
 		adj[nu] = out
 	}
 	return &Graph{N: g.N, Adj: adj}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handleMetrics serves the same counters as /stats in the Prometheus text
+// exposition format (version 0.0.4), so load-test runs can be scraped
+// alongside the benchmark artifacts. Everything is rendered from one
+// StatsSnapshot for a consistent view.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.StatsSnapshot()
+	var sb strings.Builder
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counterHeader := func(name, help string) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+
+	gauge("emptyheaded_uptime_seconds", "Seconds since the server started.", st.UptimeS)
+	gauge("emptyheaded_db_epoch", "Database mutation counter (cache invalidation epoch).", float64(st.Epoch))
+	gauge("emptyheaded_relations", "Number of stored relations.", float64(st.Relations))
+
+	// Per-endpoint request counters and latency quantiles, in a stable
+	// order so scrapes diff cleanly.
+	paths := make([]string, 0, len(st.Endpoints))
+	for p := range st.Endpoints {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	counterHeader("emptyheaded_requests_total", "Requests served per endpoint.")
+	for _, p := range paths {
+		fmt.Fprintf(&sb, "emptyheaded_requests_total{endpoint=%q} %d\n", p, st.Endpoints[p].Requests)
+	}
+	counterHeader("emptyheaded_request_errors_total", "Requests answered with a 4xx/5xx status per endpoint.")
+	for _, p := range paths {
+		fmt.Fprintf(&sb, "emptyheaded_request_errors_total{endpoint=%q} %d\n", p, st.Endpoints[p].Errors)
+	}
+	fmt.Fprintf(&sb, "# HELP %s Request latency over the recent window, in microseconds.\n# TYPE %s gauge\n",
+		"emptyheaded_request_latency_us", "emptyheaded_request_latency_us")
+	for _, p := range paths {
+		ep := st.Endpoints[p]
+		fmt.Fprintf(&sb, "emptyheaded_request_latency_us{endpoint=%q,quantile=\"0.5\"} %g\n", p, ep.P50US)
+		fmt.Fprintf(&sb, "emptyheaded_request_latency_us{endpoint=%q,quantile=\"0.99\"} %g\n", p, ep.P99US)
+		fmt.Fprintf(&sb, "emptyheaded_request_latency_us{endpoint=%q,quantile=\"1.0\"} %g\n", p, ep.MaxUS)
+	}
+
+	cache := func(prefix string, cs CacheStats) {
+		gauge(prefix+"_size", "Entries currently cached.", float64(cs.Size))
+		gauge(prefix+"_capacity", "Cache capacity.", float64(cs.Capacity))
+		counterHeader(prefix+"_hits_total", "Cache hits.")
+		fmt.Fprintf(&sb, "%s_hits_total %d\n", prefix, cs.Hits)
+		counterHeader(prefix+"_misses_total", "Cache misses.")
+		fmt.Fprintf(&sb, "%s_misses_total %d\n", prefix, cs.Misses)
+		counterHeader(prefix+"_evictions_total", "Cache evictions.")
+		fmt.Fprintf(&sb, "%s_evictions_total %d\n", prefix, cs.Evictions)
+	}
+	cache("emptyheaded_plan_cache", st.PlanCache.CacheStats)
+	counterHeader("emptyheaded_plan_cache_text_hits_total", "Exact-text alias hits that skipped parsing.")
+	fmt.Fprintf(&sb, "emptyheaded_plan_cache_text_hits_total %d\n", st.PlanCache.TextHits)
+	counterHeader("emptyheaded_plan_cache_parses_total", "datalog parses taken on the miss path.")
+	fmt.Fprintf(&sb, "emptyheaded_plan_cache_parses_total %d\n", st.PlanCache.Parses)
+	counterHeader("emptyheaded_plan_cache_recompiles_total", "Epoch-invalidated plan recompilations.")
+	fmt.Fprintf(&sb, "emptyheaded_plan_cache_recompiles_total %d\n", st.PlanCache.Recompiles)
+	cache("emptyheaded_result_cache", st.ResultCache)
+
+	gauge("emptyheaded_admission_workers", "Worker slots.", float64(st.Admission.Workers))
+	gauge("emptyheaded_admission_queue_depth", "Admission queue capacity.", float64(st.Admission.QueueDepth))
+	gauge("emptyheaded_admission_active", "Queries executing now.", float64(st.Admission.Active))
+	gauge("emptyheaded_admission_queued", "Requests waiting for a worker slot.", float64(st.Admission.Queued))
+	counterHeader("emptyheaded_admission_admitted_total", "Requests admitted to a worker slot.")
+	fmt.Fprintf(&sb, "emptyheaded_admission_admitted_total %d\n", st.Admission.Admitted)
+	counterHeader("emptyheaded_admission_rejected_total", "Requests rejected by the admission controller.")
+	fmt.Fprintf(&sb, "emptyheaded_admission_rejected_total{reason=\"queue_full\"} %d\n", st.Admission.RejectedFull)
+	fmt.Fprintf(&sb, "emptyheaded_admission_rejected_total{reason=\"queue_timeout\"} %d\n", st.Admission.RejectedTimeout)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(sb.String()))
+}

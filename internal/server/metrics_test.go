@@ -1,0 +1,121 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestService(t, Config{})
+
+	// Generate some traffic so the counters are non-trivial.
+	runQuery(t, ts.URL, triangleQ)
+	runQuery(t, ts.URL, triangleQ)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	for _, want := range []string{
+		"# TYPE emptyheaded_requests_total counter",
+		`emptyheaded_requests_total{endpoint="/query"} 2`,
+		`emptyheaded_request_latency_us{endpoint="/query",quantile="0.99"}`,
+		"# TYPE emptyheaded_plan_cache_hits_total counter",
+		"emptyheaded_result_cache_hits_total 1",
+		"emptyheaded_admission_admitted_total",
+		"emptyheaded_relations 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	// Every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed metrics line %q", line)
+		}
+	}
+}
+
+func TestQueryLimitPushdown(t *testing.T) {
+	_, ts := newTestService(t, Config{})
+
+	// The full 2-path listing (limit far above the result size), then a
+	// limited request.
+	var full QueryResponse
+	code, body := postJSON(t, ts.URL+"/query", QueryRequest{Query: pathQ, Limit: 1 << 20, NoCache: true}, &full)
+	if code != http.StatusOK {
+		t.Fatalf("full query: status %d body %s", code, body)
+	}
+	if full.Truncated {
+		t.Fatalf("full query should not truncate: %d tuples", full.Cardinality)
+	}
+
+	// Note: responses decode into fresh structs each time — Truncated is
+	// omitempty, so re-using a struct would keep a stale true.
+	var qr QueryResponse
+	code, body = postJSON(t, ts.URL+"/query", QueryRequest{Query: pathQ, Limit: 10, NoCache: true}, &qr)
+	if code != http.StatusOK {
+		t.Fatalf("limited query: status %d body %s", code, body)
+	}
+	if !qr.Truncated {
+		t.Fatalf("limited query not marked truncated: %+v", qr)
+	}
+	// The middle variable is projected away, so the budget counts
+	// pre-dedup rows: up to 10 tuples come back, and execution stopped
+	// long before the full 18k-tuple listing.
+	if len(qr.Tuples) == 0 || len(qr.Tuples) > 10 {
+		t.Fatalf("limited query returned %d tuples, want 1..10", len(qr.Tuples))
+	}
+	if qr.Cardinality >= full.Cardinality {
+		t.Fatalf("limited cardinality %d not reduced (full %d)", qr.Cardinality, full.Cardinality)
+	}
+
+	// An all-output listing (no projection): the limit fills exactly, and
+	// a limit of exactly the full cardinality must not flag truncation.
+	triListQ := `T3(x,y,z) :- Edge(x,y),Edge(y,z),Edge(x,z).`
+	var triFull QueryResponse
+	code, body = postJSON(t, ts.URL+"/query", QueryRequest{Query: triListQ, Limit: 1 << 20, NoCache: true}, &triFull)
+	if code != http.StatusOK {
+		t.Fatalf("triangle listing: status %d body %s", code, body)
+	}
+	if triFull.Truncated || triFull.Cardinality <= 10 {
+		t.Fatalf("triangle listing full run: truncated=%v card=%d", triFull.Truncated, triFull.Cardinality)
+	}
+	var triLim QueryResponse
+	code, body = postJSON(t, ts.URL+"/query", QueryRequest{Query: triListQ, Limit: 10, NoCache: true}, &triLim)
+	if code != http.StatusOK {
+		t.Fatalf("triangle listing limited: status %d body %s", code, body)
+	}
+	if !triLim.Truncated || len(triLim.Tuples) != 10 {
+		t.Fatalf("triangle listing limit: truncated=%v tuples=%d want true,10", triLim.Truncated, len(triLim.Tuples))
+	}
+	var triExact QueryResponse
+	code, body = postJSON(t, ts.URL+"/query",
+		QueryRequest{Query: triListQ, Limit: triFull.Cardinality, NoCache: true}, &triExact)
+	if code != http.StatusOK {
+		t.Fatalf("exact-limit listing: status %d body %s", code, body)
+	}
+	if triExact.Truncated || len(triExact.Tuples) != triFull.Cardinality {
+		t.Fatalf("exact-limit listing: truncated=%v tuples=%d want %d", triExact.Truncated, len(triExact.Tuples), triFull.Cardinality)
+	}
+}

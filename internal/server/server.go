@@ -12,6 +12,7 @@
 //	GET  /relations                                       catalog of stored relations
 //	POST /load      {"name": "Edge", "path"|"edges"|...}  load a relation, invalidate caches
 //	GET  /stats                                           per-endpoint latency + cache counters
+//	GET  /metrics                                         the same counters in Prometheus text format
 //	GET  /healthz                                         liveness
 package server
 
@@ -130,6 +131,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/relations", s.instrument("/relations", s.handleRelations))
 	mux.HandleFunc("/load", s.instrument("/load", s.handleLoad))
 	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
@@ -195,8 +197,12 @@ func writeErr(w http.ResponseWriter, err error) {
 // QueryRequest is the /query body.
 type QueryRequest struct {
 	Query string `json:"query"`
-	// Limit caps tuples in the response (0 = server default; scalar
-	// results are unaffected).
+	// Limit caps tuples in the response and is pushed into listing
+	// execution, which stops early instead of materializing the full
+	// join (0 = server default; scalar results are unaffected). For
+	// listings that project variables away the early stop is best
+	// effort: the truncated response may hold fewer than Limit tuples
+	// even when more exist.
 	Limit int `json:"limit,omitempty"`
 	// NoCache skips the result cache for this request (it still
 	// populates and uses the plan cache).
@@ -205,8 +211,11 @@ type QueryRequest struct {
 
 // QueryResponse is the /query reply.
 type QueryResponse struct {
-	Name        string    `json:"name"`
-	Attrs       []string  `json:"attrs,omitempty"`
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs,omitempty"`
+	// Cardinality is the number of result tuples. When Truncated is set,
+	// execution stopped early under the request limit and Cardinality is
+	// a lower bound, not the full result size.
 	Cardinality int       `json:"cardinality"`
 	Scalar      *float64  `json:"scalar,omitempty"`
 	Tuples      [][]int64 `json:"tuples,omitempty"`
@@ -360,7 +369,13 @@ func (s *Server) runQuery(req *QueryRequest, limit int) (QueryResponse, error) {
 		s.plans.plans.remove(entry.fp)
 		return QueryResponse{}, badRequest("compile: %v", err)
 	}
-	res, err := prep.Run(fork)
+	// Push the response limit into execution with one row of headroom.
+	// For all-output listings the budget counts distinct tuples, so a
+	// result of exactly `limit` tuples is not flagged truncated; listings
+	// that project variables away count pre-dedup rows and may return a
+	// smaller truncated sample (see exec.Options.Limit). Aggregates and
+	// other non-listing shapes run to completion.
+	res, err := prep.RunLimit(fork, limit+1)
 	if err != nil {
 		if !errors.Is(err, exec.ErrTimeout) {
 			err = badRequest("%v", err)
@@ -369,6 +384,7 @@ func (s *Server) runQuery(req *QueryRequest, limit int) (QueryResponse, error) {
 	}
 
 	resp := s.render(res, limit, fork.Dict())
+	resp.Truncated = resp.Truncated || res.Truncated
 	resp.PlanCached = planHit
 	// Canonicalize attribute names before caching so a future serve (or a
 	// recreated plan entry) can re-label them for any spelling.
@@ -530,17 +546,20 @@ func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"relations": s.eng.Relations()})
 }
 
-// LoadRequest is the /load body; exactly one of Path, Edges or Tuples
-// must be set. Path and Edges load a binary edge relation (Path reads a
-// "src dst" edge-list file server-side, rebuilding the identifier
+// LoadRequest is the /load body; exactly one of Path, Edges, Tuples or
+// Columns must be set. Path and Edges load a binary edge relation (Path
+// reads a "src dst" edge-list file server-side, rebuilding the identifier
 // dictionary); Tuples loads a generic relation of the given arity from
-// dense codes, optionally annotated under Op.
+// dense codes, optionally annotated under Op; Columns loads the same
+// shape column-wise (columns[i] holds attribute i of every row), feeding
+// the columnar trie builder directly with no row transposition.
 type LoadRequest struct {
 	Name       string     `json:"name"`
 	Path       string     `json:"path,omitempty"`
 	Undirected bool       `json:"undirected,omitempty"`
 	Edges      [][2]int64 `json:"edges,omitempty"`
 	Tuples     [][]uint32 `json:"tuples,omitempty"`
+	Columns    [][]uint32 `json:"columns,omitempty"`
 	Arity      int        `json:"arity,omitempty"`
 	Anns       []float64  `json:"anns,omitempty"`
 	Op         string     `json:"op,omitempty"`
@@ -620,8 +639,23 @@ func (s *Server) load(req *LoadRequest) error {
 			return badRequest("%v", err)
 		}
 		return nil
+	case req.Columns != nil:
+		if req.Arity > 0 && req.Arity != len(req.Columns) {
+			return badRequest("%d columns do not match arity %d", len(req.Columns), req.Arity)
+		}
+		op := semiring.None
+		if req.Anns != nil {
+			var err error
+			if op, err = semiring.ParseOp(req.Op); err != nil {
+				return badRequest("%v", err)
+			}
+		}
+		if err := s.eng.AddRelationColumns(req.Name, req.Columns, req.Anns, op); err != nil {
+			return badRequest("%v", err)
+		}
+		return nil
 	}
-	return badRequest("one of \"path\", \"edges\" or \"tuples\" required")
+	return badRequest("one of \"path\", \"edges\", \"tuples\" or \"columns\" required")
 }
 
 // Stats is the /stats reply.

@@ -1,0 +1,96 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"emptyheaded/internal/semiring"
+)
+
+// benchRows draws unsorted 2-attribute tuples; skewed mimics a power-law
+// degree distribution (hot low ids plus a heavy tail).
+func benchRows(n int, skewed bool) (rows []refRow, cols [][]uint32, anns []float64) {
+	rng := rand.New(rand.NewSource(99))
+	rows = make([]refRow, n)
+	cols = [][]uint32{make([]uint32, n), make([]uint32, n)}
+	anns = make([]float64, n)
+	for i := range rows {
+		var u, v uint32
+		if skewed {
+			u = uint32(rng.Intn(64))
+			v = uint32(rng.Intn(1 << 18))
+		} else {
+			u = uint32(rng.Intn(1 << 20))
+			v = uint32(rng.Intn(1 << 20))
+		}
+		rows[i] = refRow{tuple: []uint32{u, v}, ann: float64(i % 7)}
+		cols[0][i], cols[1][i] = u, v
+		anns[i] = float64(i % 7)
+	}
+	return rows, cols, anns
+}
+
+// BenchmarkTrieBuildRowRef is the pre-columnar row-at-a-time build
+// (per-row allocations + sort.Slice), the baseline the columnar path is
+// measured against.
+func BenchmarkTrieBuildRowRef(b *testing.B) {
+	rows, _, _ := benchRows(1<<18, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refRows := make([]refRow, len(rows))
+		for j, r := range rows {
+			refRows[j] = refRow{tuple: append([]uint32(nil), r.tuple...), ann: r.ann}
+		}
+		tr := refBuild(2, semiring.Sum, nil, true, refRows)
+		if tr.Cardinality() == 0 {
+			b.Fatal("empty trie")
+		}
+	}
+}
+
+// BenchmarkTrieBuildColumnar builds the same relation through the
+// columnar radix path from pre-filled columns (the worker emit shape).
+func BenchmarkTrieBuildColumnar(b *testing.B) {
+	_, cols, anns := benchRows(1<<18, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := [][]uint32{append([]uint32(nil), cols[0]...), append([]uint32(nil), cols[1]...)}
+		a := append([]float64(nil), anns...)
+		tr := FromColumns(c, a, semiring.Sum, nil)
+		if tr.Cardinality() == 0 {
+			b.Fatal("empty trie")
+		}
+	}
+}
+
+func BenchmarkTrieBuildColumnarSkewed(b *testing.B) {
+	_, cols, anns := benchRows(1<<18, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := [][]uint32{append([]uint32(nil), cols[0]...), append([]uint32(nil), cols[1]...)}
+		a := append([]float64(nil), anns...)
+		tr := FromColumns(c, a, semiring.Sum, nil)
+		if tr.Cardinality() == 0 {
+			b.Fatal("empty trie")
+		}
+	}
+}
+
+func BenchmarkTrieBuildRowRefSkewed(b *testing.B) {
+	rows, _, _ := benchRows(1<<18, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refRows := make([]refRow, len(rows))
+		for j, r := range rows {
+			refRows[j] = refRow{tuple: append([]uint32(nil), r.tuple...), ann: r.ann}
+		}
+		tr := refBuild(2, semiring.Sum, nil, true, refRows)
+		if tr.Cardinality() == 0 {
+			b.Fatal("empty trie")
+		}
+	}
+}

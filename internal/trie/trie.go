@@ -2,11 +2,16 @@
 // a multi-level trie of sets of dictionary-encoded 32-bit values, where
 // each set may carry per-value annotations from a semiring and each set is
 // stored in the layout chosen by the layout optimizer (§4).
+//
+// Tries are materialized through ColumnarBuilder: flat per-attribute
+// columns ordered by a parallel MSD radix sort, deduplicated in place
+// under ⊕, and assembled level by level from column runs (leaf sets and
+// annotations alias the sorted columns). The row-at-a-time Builder is a
+// thin adapter over the same path.
 package trie
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"emptyheaded/internal/semiring"
@@ -125,155 +130,36 @@ func memBytes(n *Node) int {
 	return b
 }
 
-// Builder accumulates tuples and materializes a Trie.
+// Builder accumulates tuples row-at-a-time and materializes a Trie. It is
+// a thin adapter over ColumnarBuilder: each Add scatters the tuple into
+// per-attribute columns (amortized appends, no per-row allocation), so
+// callers that must stay on the row API still get the columnar sort and
+// build path.
 type Builder struct {
-	arity     int
-	op        semiring.Op
-	layout    LayoutFunc
-	annotated bool
-	rows      [][]uint32
-	anns      []float64
+	cb *ColumnarBuilder
 }
 
 // NewBuilder returns a builder for relations of the given arity. op governs
 // how duplicate-tuple annotations combine; layout picks per-set layouts
 // (nil means the set-level auto optimizer).
 func NewBuilder(arity int, op semiring.Op, layout LayoutFunc) *Builder {
-	if layout == nil {
-		layout = AutoLayout
-	}
-	return &Builder{arity: arity, op: op, layout: layout}
+	return &Builder{cb: NewColumnarBuilder(arity, op, layout)}
 }
 
 // Add appends one un-annotated tuple. The tuple is copied, so callers may
 // reuse their buffer.
-func (b *Builder) Add(tuple ...uint32) {
-	if len(tuple) != b.arity {
-		panic(fmt.Sprintf("trie: Add arity %d, want %d", len(tuple), b.arity))
-	}
-	b.rows = append(b.rows, append([]uint32(nil), tuple...))
-}
+func (b *Builder) Add(tuple ...uint32) { b.cb.Add(tuple...) }
 
 // AddAnn appends one annotated tuple. The tuple is copied, so callers may
 // reuse their buffer.
-func (b *Builder) AddAnn(ann float64, tuple ...uint32) {
-	if len(tuple) != b.arity {
-		panic(fmt.Sprintf("trie: AddAnn arity %d, want %d", len(tuple), b.arity))
-	}
-	b.annotated = true
-	b.rows = append(b.rows, append([]uint32(nil), tuple...))
-	b.anns = append(b.anns, ann)
-}
+func (b *Builder) AddAnn(ann float64, tuple ...uint32) { b.cb.AddAnn(ann, tuple...) }
 
 // Build sorts, deduplicates (combining annotations under the semiring) and
 // materializes the trie. The builder must not be reused afterwards.
 // Rows appended in lexicographic order (the natural emission order of the
 // engine's loop nests) skip the sort entirely.
 func (b *Builder) Build() *Trie {
-	if b.annotated && len(b.anns) != len(b.rows) {
-		panic("trie: mixed annotated and un-annotated tuples")
-	}
-	idx := make([]int, len(b.rows))
-	for i := range idx {
-		idx[i] = i
-	}
-	presorted := true
-	for i := 1; i < len(b.rows); i++ {
-		if tupleLess(b.rows[i], b.rows[i-1]) {
-			presorted = false
-			break
-		}
-	}
-	if !presorted {
-		sort.Slice(idx, func(x, y int) bool {
-			return tupleLess(b.rows[idx[x]], b.rows[idx[y]])
-		})
-	}
-	// Deduplicate, combining annotations with ⊕.
-	rows := make([][]uint32, 0, len(b.rows))
-	var anns []float64
-	if b.annotated {
-		anns = make([]float64, 0, len(b.anns))
-	}
-	for _, i := range idx {
-		r := b.rows[i]
-		if n := len(rows); n > 0 && tupleEq(rows[n-1], r) {
-			if b.annotated {
-				anns[n-1] = b.op.Add(anns[n-1], b.anns[i])
-			}
-			continue
-		}
-		rows = append(rows, r)
-		if b.annotated {
-			anns = append(anns, b.anns[i])
-		}
-	}
-	t := &Trie{Arity: b.arity, Annotated: b.annotated, Op: b.op}
-	if b.arity == 0 {
-		t.Scalar = b.op.Zero()
-		for _, a := range anns {
-			t.Scalar = b.op.Add(t.Scalar, a)
-		}
-		return t
-	}
-	t.Root = buildLevel(rows, anns, 0, b.arity, b.layout)
-	return t
-}
-
-func tupleEq(a, b []uint32) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func tupleLess(a, b []uint32) bool {
-	for k := range a {
-		if a[k] != b[k] {
-			return a[k] < b[k]
-		}
-	}
-	return false
-}
-
-// buildLevel builds the trie node for rows[lo:hi) at the given level; rows
-// must be sorted and deduplicated.
-func buildLevel(rows [][]uint32, anns []float64, level, arity int, layout LayoutFunc) *Node {
-	if len(rows) == 0 {
-		return &Node{}
-	}
-	// Group rows by the value at this level.
-	var vals []uint32
-	var starts []int
-	for i := 0; i < len(rows); i++ {
-		v := rows[i][level]
-		if len(vals) == 0 || vals[len(vals)-1] != v {
-			vals = append(vals, v)
-			starts = append(starts, i)
-		}
-	}
-	starts = append(starts, len(rows))
-	n := &Node{Set: set.BuildLayout(vals, layout(level, vals))}
-	last := level == arity-1
-	if last {
-		if anns != nil {
-			n.Ann = make([]float64, len(vals))
-			copy(n.Ann, anns) // one row per value at the last level
-		}
-		return n
-	}
-	n.Children = make([]*Node, len(vals))
-	for gi := range vals {
-		lo, hi := starts[gi], starts[gi+1]
-		var sub []float64
-		if anns != nil {
-			sub = anns[lo:hi]
-		}
-		n.Children[gi] = buildLevel(rows[lo:hi], sub, level+1, arity, layout)
-	}
-	return n
+	return b.cb.Build()
 }
 
 // FromAdjacency builds a 2-level trie directly from an adjacency structure:

@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// artifact, so CI can archive benchmark results (BENCH_pr2.json and
+// successors) and the perf trajectory accumulates across PRs.
+//
+// Usage: go run ./scripts/benchjson -in bench.out -out BENCH_pr2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Artifact is the output document.
+type Artifact struct {
+	CPU        string   `json:"cpu,omitempty"`
+	GoMaxProcs string   `json:"gomaxprocs,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	in := flag.String("in", "-", "benchmark output file (- for stdin)")
+	out := flag.String("out", "bench.json", "JSON artifact path")
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	art := Artifact{Results: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			art.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !contains(fields, "ns/op") {
+			continue
+		}
+		res := Result{Name: fields[0], Package: pkg}
+		if i := strings.LastIndex(res.Name, "-"); i > 0 {
+			if _, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+				art.GoMaxProcs = res.Name[i+1:]
+				res.Name = res.Name[:i]
+			}
+		}
+		var err error
+		if res.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp, _ = strconv.ParseFloat(v, 64)
+			case "B/op":
+				res.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		art.Results = append(art.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(art.Results), *out)
+}
+
+func contains(fields []string, s string) bool {
+	for _, f := range fields {
+		if f == s {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
