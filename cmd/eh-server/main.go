@@ -1,29 +1,38 @@
 // Command eh-server serves EmptyHeaded over HTTP/JSON: concurrent datalog
-// queries against a shared engine, with plan and result caching and a
-// bounded worker pool (see internal/server).
+// queries against a shared engine, with plan and result caching, a
+// bounded worker pool (see internal/server), and optional persistence: a
+// data directory it restores from on boot (mmap zero-copy, so a large
+// database is serving in milliseconds) and snapshots to on SIGTERM.
 //
 // Usage:
 //
 //	eh-server -addr :8080 -graph edges.txt                # serve an edge list as Edge
 //	eh-server -addr :8080 -synthetic 10000 -degree 16     # serve a synthetic power-law graph
+//	eh-server -addr :8080 -data-dir /data/eh              # restore on boot, snapshot on SIGTERM
 //	eh-server -addr :8080                                 # start empty; POST /load
 //
 // Quickstart once running:
 //
 //	curl -s localhost:8080/query -d '{"query":"TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>."}'
+//	curl -s localhost:8080/snapshot -d '{}'               # persist now (with -data-dir)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"emptyheaded/internal/core"
 	"emptyheaded/internal/gen"
 	"emptyheaded/internal/server"
+	"emptyheaded/internal/storage"
 )
 
 func main() {
@@ -34,6 +43,7 @@ func main() {
 	synthetic := flag.Int("synthetic", 0, "serve a synthetic power-law graph with this many vertices (when no -graph)")
 	degree := flag.Int("degree", 16, "average degree of the synthetic graph")
 	seed := flag.Int64("seed", 1, "synthetic graph seed")
+	dataDir := flag.String("data-dir", "", "snapshot directory: auto-restore on boot, snapshot on SIGTERM, default for /snapshot and /restore")
 	workers := flag.Int("workers", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission gate size (0 = 4x workers)")
 	queueWait := flag.Duration("queue-wait", 2*time.Second, "max time a request waits for a worker slot")
@@ -45,7 +55,16 @@ func main() {
 	eng := core.New()
 	eng.Opts.Timeout = *timeout
 
+	// Boot order: a restorable snapshot in -data-dir wins (that is the
+	// deploy-survival path); otherwise fall back to the seed flags.
 	switch {
+	case *dataDir != "" && storage.Exists(*dataDir):
+		t0 := time.Now()
+		cat, err := eng.Restore(*dataDir)
+		if err != nil {
+			fatal(fmt.Errorf("restore %s: %w", *dataDir, err))
+		}
+		log.Printf("eh-server: restored %s from %s in %v", cat, *dataDir, time.Since(t0))
 	case *graphPath != "":
 		f, err := os.Open(*graphPath)
 		if err != nil {
@@ -70,11 +89,41 @@ func main() {
 		QueueWait:       *queueWait,
 		PlanCacheSize:   *planCache,
 		ResultCacheSize: *resultCache,
+		DataDir:         *dataDir,
 	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	// SIGTERM/SIGINT: stop accepting requests, drain in-flight ones, then
+	// snapshot to -data-dir so the next boot restores instead of
+	// re-parsing text loads.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Printf("eh-server: shutdown signal, draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("eh-server: shutdown: %v", err)
+		}
+		if *dataDir != "" {
+			t0 := time.Now()
+			cat, err := eng.Snapshot(*dataDir)
+			if err != nil {
+				log.Printf("eh-server: final snapshot failed: %v", err)
+				return
+			}
+			log.Printf("eh-server: snapshotted %s to %s in %v", cat, *dataDir, time.Since(t0))
+		}
+	}()
+
 	log.Printf("eh-server: listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	<-done
 }
 
 func fatal(err error) {

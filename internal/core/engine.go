@@ -14,6 +14,7 @@ import (
 	"emptyheaded/internal/exec"
 	"emptyheaded/internal/graph"
 	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/storage"
 	"emptyheaded/internal/trie"
 )
 
@@ -25,11 +26,16 @@ import (
 type Engine struct {
 	DB   *exec.DB
 	Opts exec.Options
-	// mu guards graphs; the DB carries its own synchronization.
+	// mu guards graphs and restored; the DB carries its own
+	// synchronization.
 	mu sync.RWMutex
 	// graphs remembers loaded graphs by relation name for the
 	// benchmark harness and examples.
 	graphs map[string]*graph.Graph
+	// restored holds the storage handle of every Restore, keeping their
+	// mmap'd segments alive for the tries that alias them (see
+	// Engine.Restore for the lifecycle discussion).
+	restored []*storage.Database
 }
 
 // New returns an engine with the full optimizer enabled.

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"emptyheaded/internal/graph"
+	"emptyheaded/internal/storage"
+)
+
+// Snapshot writes the engine's entire database — every relation's trie,
+// the per-relation epochs, and the identifier dictionary — to dir as a
+// checksummed binary snapshot (see internal/storage). The state is
+// captured through one Fork, so a snapshot taken under concurrent loads
+// is a consistent point-in-time image. Returns the written catalog.
+func (e *Engine) Snapshot(dir string) (*storage.Catalog, error) {
+	fork := e.DB.Fork()
+	snap := &storage.Snapshot{
+		Dict:      fork.Dict(),
+		DictEpoch: fork.DictEpoch(),
+	}
+	for _, name := range fork.Names() {
+		rel, ok := fork.Relation(name)
+		if !ok {
+			continue
+		}
+		snap.Relations = append(snap.Relations, storage.Relation{
+			Name:  name,
+			Trie:  rel.Canonical(),
+			Epoch: fork.EpochOf(name),
+		})
+	}
+	return storage.Write(dir, snap)
+}
+
+// Restore replaces the engine's database with the snapshot in dir. The
+// restored tries alias mmap'd segment files (zero copy — the segments
+// are paged in lazily by the kernel), so restore of a multi-gigabyte
+// database costs checksum verification plus node linking, not a parse
+// and rebuild. The mappings live for the remaining process lifetime.
+//
+// The snapshot's epochs are adopted into the database; embedders serving
+// epoch-keyed caches must flush them around a restore (the query service
+// advances a generation counter). Graphs registered through LoadGraph
+// are engine-side conveniences (benchmark harness); they do not survive
+// a restore — the relations themselves do.
+//
+// Each restore retains its storage handle on the engine: the mappings
+// cannot be unmapped while any fork, cached result, or in-flight query
+// may still alias the previous restore's tries (there is no refcount on
+// trie buffers), so a server that restores repeatedly accumulates one
+// set of file mappings per restore. They are virtual mappings of
+// page-cache data — cheap, but not free; a future mapping lifecycle can
+// close the retained handles once trie aliasing is refcounted.
+func (e *Engine) Restore(dir string) (*storage.Catalog, error) {
+	db, err := storage.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("restore %s: %w", dir, err)
+	}
+	e.DB.InstallSnapshot(db.Tries, db.Epochs, db.Dict, db.Catalog.DictEpoch)
+	e.mu.Lock()
+	e.graphs = map[string]*graph.Graph{}
+	e.restored = append(e.restored, db)
+	e.mu.Unlock()
+	return db.Catalog, nil
+}

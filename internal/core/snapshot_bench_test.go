@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"emptyheaded/internal/gen"
+)
+
+// benchSnapshotDir snapshots a 256k-edge power-law graph once and
+// returns the directory plus the equivalent edge-list text.
+func benchSnapshotDir(b *testing.B) (string, []byte) {
+	b.Helper()
+	g := gen.PowerLaw(60000, 262144, 2.2, 3)
+	text := edgeListText(g)
+	eng := New()
+	if err := eng.LoadEdgeList("Edge", bytes.NewReader(text), false); err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if _, err := eng.Snapshot(dir); err != nil {
+		b.Fatal(err)
+	}
+	return dir, text
+}
+
+// BenchmarkRestore256k measures mmap zero-copy restore of a snapshotted
+// 256k-edge database (checksum pass + node linking).
+func BenchmarkRestore256k(b *testing.B) {
+	dir, _ := benchSnapshotDir(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := New()
+		if _, err := eng.Restore(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTextLoad256k is the baseline restore replaces: parsing the
+// same dataset from an edge-list text (parse + dictionary encode + trie
+// build).
+func BenchmarkTextLoad256k(b *testing.B) {
+	_, text := benchSnapshotDir(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := New()
+		if err := eng.LoadEdgeList("Edge", bytes.NewReader(text), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshot256k measures the write side.
+func BenchmarkSnapshot256k(b *testing.B) {
+	g := gen.PowerLaw(60000, 262144, 2.2, 3)
+	eng := New()
+	eng.LoadGraph("Edge", g)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Snapshot(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package datalog
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -122,6 +123,50 @@ func FindAgg(e Expr) *AggExpr {
 		return FindAgg(x.R)
 	}
 	return nil
+}
+
+// Relations returns the sorted distinct relation names the program
+// touches: every body atom, every head (a head may shadow — or, before
+// its rule runs, read — a stored relation of the same name), and every
+// scalar relation referenced inside annotation expressions (e.g. N in
+// PageRank's 1/N). This is the conservative read set the query service
+// keys result-cache entries on: a cached result stays valid exactly
+// while none of these relations (nor the dictionary) change.
+func (p *Program) Relations() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case RefExpr:
+			add(x.Name)
+		case *RefExpr:
+			add(x.Name)
+		case BinExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *BinExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		}
+	}
+	for _, r := range p.Rules {
+		add(r.Head.Name)
+		for _, a := range r.Atoms {
+			add(a.Pred)
+		}
+		if r.Assign != nil {
+			walkExpr(r.Assign.Expr)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Vars returns the distinct body variables of r in first-appearance order.

@@ -1,0 +1,38 @@
+package datalog
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestProgramRelations(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{
+			`Tri(x,y,z) :- R(x,y),S(y,z),T(x,z).`,
+			[]string{"R", "S", "T", "Tri"},
+		},
+		{
+			// RefExpr (1/N) and multi-rule heads must all appear.
+			`N(;w:int) :- Edge(x,y); w=<<COUNT(x)>>.
+PageRank(x;y:float) :- Edge(x,z); y=1/N.`,
+			[]string{"Edge", "N", "PageRank"},
+		},
+		{
+			`TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`,
+			[]string{"Edge", "TC"},
+		},
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.query)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.query, err)
+		}
+		got := prog.Relations()
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("Relations(%q) = %v, want %v", c.query, got, c.want)
+		}
+	}
+}

@@ -127,21 +127,54 @@ type curRef struct {
 }
 
 // limitState is the cooperative row budget shared by all workers of a
-// limited listing bag (the limit-pushdown path): emitted counts output
-// rows across workers, hit latches once the budget is spent so every
-// loop nest unwinds at its next candidate value.
+// limited listing bag (the limit-pushdown path): hit latches once the
+// budget is spent so every loop nest unwinds at its next candidate
+// value. When every loop-nest level is an output level each emit is a
+// distinct tuple, so a plain counter suffices; listings that project
+// variables away can emit the same output tuple many times, so the
+// budget counts post-dedup distinct tuples through the seen map —
+// a limit:k request yields k distinct tuples whenever k exist, instead
+// of stopping after k pre-dedup rows.
 type limitState struct {
 	limit   int64
 	emitted atomic.Int64
 	hit     atomic.Bool
+
+	// Distinct mode (nil when emits are already distinct). seen holds the
+	// packed output tuples counted so far; it never grows past limit
+	// entries, since the hit latch fires when it fills.
+	mu   sync.Mutex
+	seen map[string]struct{}
 }
 
 func (ls *limitState) stopped() bool { return ls != nil && ls.hit.Load() }
 
-func (ls *limitState) note() {
-	if ls != nil && ls.emitted.Add(1) >= ls.limit {
-		ls.hit.Store(true)
+// noteRow books one emitted output row against the budget.
+func (ls *limitState) noteRow(row []uint32) {
+	if ls == nil {
+		return
 	}
+	if ls.seen == nil {
+		if ls.emitted.Add(1) >= ls.limit {
+			ls.hit.Store(true)
+		}
+		return
+	}
+	key := make([]byte, 4*len(row))
+	for i, v := range row {
+		key[4*i] = byte(v)
+		key[4*i+1] = byte(v >> 8)
+		key[4*i+2] = byte(v >> 16)
+		key[4*i+3] = byte(v >> 24)
+	}
+	ls.mu.Lock()
+	if _, dup := ls.seen[string(key)]; !dup {
+		ls.seen[string(key)] = struct{}{}
+		if int64(len(ls.seen)) >= ls.limit {
+			ls.hit.Store(true)
+		}
+	}
+	ls.mu.Unlock()
 }
 
 // execBag runs the generic worst-case optimal join (Algorithm 1) for one
@@ -210,6 +243,11 @@ func (p *Plan) execBag(bp *BagPlan) (*trie.Trie, error) {
 	}
 	if n := p.limitFor(bp); n > 0 {
 		ex.lim = &limitState{limit: int64(n)}
+		if len(bp.OutAttrs) < len(bp.Attrs) {
+			// Projected listing: count distinct output tuples, so the
+			// truncated result holds `limit` tuples post-dedup.
+			ex.lim.seen = make(map[string]struct{}, n)
+		}
 	}
 	cols, anns, scalar, err := ex.runParallel()
 	if err != nil {
@@ -228,11 +266,11 @@ func (p *Plan) execBag(bp *BagPlan) (*trie.Trie, error) {
 // only to the bag that produces the final listing (the assembly when
 // present, else the root) and only without aggregation; inner bags always
 // materialize fully, since their results feed joins. The budget counts
-// emitted rows: when every loop-nest level is an output level each emit
-// is a distinct tuple and the result holds at least Limit tuples; with
-// projected-away variables duplicates fold in the builder, so the
-// truncated result may hold fewer than Limit tuples — a best-effort
-// prefix, which is what a limit:N exploration request wants.
+// post-dedup distinct output tuples: when every loop-nest level is an
+// output level each emit is distinct and a plain counter suffices; with
+// projected-away variables the limitState tracks distinct tuples
+// explicitly, so a limit:N request yields N distinct tuples whenever the
+// full result has that many.
 func (p *Plan) limitFor(bp *BagPlan) int {
 	if p.opts.Limit <= 0 || p.Agg.Present {
 		return 0
@@ -703,7 +741,7 @@ func (w *worker) emit(ann float64) {
 		w.cols[i] = append(w.cols[i], v)
 	}
 	w.anns = append(w.anns, ann)
-	w.ex.lim.note()
+	w.ex.lim.noteRow(w.outBuf)
 }
 
 // newWorker allocates one goroutine's accumulation state.

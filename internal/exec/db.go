@@ -35,14 +35,35 @@ type DB struct {
 	// codes used inside tries; selection constants in queries are
 	// expressed as original identifiers. Guarded by mu (see Dict/SetDict).
 	dict *graph.Dictionary
-	// version counts mutations (AddTrie, Drop, SetDict); the query
-	// service uses it as a cache-invalidation epoch.
+	// version counts mutations (AddTrie, Drop, SetDict); it remains the
+	// coarse invalidation epoch for compiled plans.
 	version atomic.Uint64
+	// epochs carries one mutation epoch per relation name (guarded by
+	// mu): a relation's epoch advances exactly when that relation is
+	// added, replaced, dropped, or installed from a snapshot. Caches that
+	// know a query's read set key on these instead of the global version,
+	// so loading relation R never evicts results that never read R.
+	epochs map[string]uint64
+	// dictEpoch advances when the identifier dictionary changes; every
+	// decoded (rendered) result depends on it.
+	dictEpoch uint64
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{rels: map[string]*Relation{}}
+	return &DB{rels: map[string]*Relation{}, epochs: map[string]uint64{}}
+}
+
+// bumpLocked advances the global version and returns the new value; the
+// caller must hold mu.
+func (db *DB) bumpLocked() uint64 {
+	return db.version.Add(1)
+}
+
+// bumpRelLocked advances relation name's epoch (and the global version);
+// the caller must hold mu.
+func (db *DB) bumpRelLocked(name string) {
+	db.epochs[name] = db.bumpLocked()
 }
 
 // Fork returns a session-local snapshot of db: the relation bindings and
@@ -59,7 +80,12 @@ func (db *DB) Fork() *DB {
 	for n, r := range db.rels {
 		f.rels[n] = r
 	}
+	f.epochs = make(map[string]uint64, len(db.epochs))
+	for n, e := range db.epochs {
+		f.epochs[n] = e
+	}
 	f.dict = db.dict
+	f.dictEpoch = db.dictEpoch
 	// Read under the same lock writers bump it under, so the snapshot's
 	// version always matches its data.
 	f.version.Store(db.version.Load())
@@ -79,14 +105,101 @@ func (db *DB) Dict() *graph.Dictionary {
 func (db *DB) SetDict(d *graph.Dictionary) {
 	db.mu.Lock()
 	db.dict = d
-	db.version.Add(1)
+	db.dictEpoch = db.bumpLocked()
 	db.mu.Unlock()
 }
 
 // Version is a monotone mutation counter: it advances whenever a relation
-// is added, replaced or dropped, or the dictionary changes. Caches keyed
-// on query text pair entries with the version they were computed at.
+// is added, replaced or dropped, or the dictionary changes. The plan
+// cache keys compilations on it; the result cache uses the finer
+// per-relation epochs (EpochsOf) instead.
 func (db *DB) Version() uint64 { return db.version.Load() }
+
+// EpochOf returns relation name's mutation epoch (0 when the relation
+// has never existed — a later load under that name advances it, so 0 is
+// a valid "absent" epoch for cache keys).
+func (db *DB) EpochOf(name string) uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.epochs[name]
+}
+
+// EpochsOf returns the epochs of the given relation names, aligned with
+// names, read under one lock so the vector is a consistent snapshot.
+func (db *DB) EpochsOf(names []string) []uint64 {
+	out := make([]uint64, len(names))
+	db.mu.RLock()
+	for i, n := range names {
+		out[i] = db.epochs[n]
+	}
+	db.mu.RUnlock()
+	return out
+}
+
+// EpochsWithDict returns the epochs of the given relation names plus the
+// dictionary epoch, all read under one lock — the consistent validity
+// vector the result cache stamps on (and checks against) each entry.
+func (db *DB) EpochsWithDict(names []string) ([]uint64, uint64) {
+	out := make([]uint64, len(names))
+	db.mu.RLock()
+	for i, n := range names {
+		out[i] = db.epochs[n]
+	}
+	de := db.dictEpoch
+	db.mu.RUnlock()
+	return out, de
+}
+
+// DictEpoch returns the identifier dictionary's mutation epoch. Results
+// rendered through the dictionary depend on it in addition to the epochs
+// of the relations they read.
+func (db *DB) DictEpoch() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.dictEpoch
+}
+
+// InstallSnapshot atomically replaces the entire database — relations,
+// per-relation epochs, and dictionary — with restored snapshot state, in
+// one critical section: a concurrent Fork sees either the old database
+// or the new one, never a mix. The snapshot's saved epochs are adopted
+// verbatim (which is what makes snapshot → restore → re-snapshot
+// byte-identical), and the global version jumps past every adopted epoch
+// so later mutations stay strictly monotone. Epoch numbering is NOT
+// comparable across an install — the snapshot may come from another
+// process — so holders of epoch-keyed caches must flush them when they
+// trigger a restore; version-keyed caches (compiled plans) invalidate
+// automatically via the version jump.
+func (db *DB) InstallSnapshot(tries map[string]*trie.Trie, epochs map[string]uint64, dict *graph.Dictionary, dictEpoch uint64) {
+	rels := make(map[string]*Relation, len(tries))
+	eps := make(map[string]uint64, len(tries))
+	maxE := dictEpoch
+	for name, t := range tries {
+		rels[name] = &Relation{
+			Name:      name,
+			Arity:     t.Arity,
+			Annotated: t.Annotated,
+			Op:        t.Op,
+			canonical: t,
+			indexes:   map[string]*trie.Trie{},
+		}
+		e := epochs[name]
+		eps[name] = e
+		if e > maxE {
+			maxE = e
+		}
+	}
+	db.mu.Lock()
+	if cur := db.version.Load(); cur > maxE {
+		maxE = cur
+	}
+	db.version.Store(maxE + 1)
+	db.rels = rels
+	db.epochs = eps
+	db.dict = dict
+	db.dictEpoch = dictEpoch
+	db.mu.Unlock()
+}
 
 // Relation is a stored relation with lazily built trie indexes, one per
 // (column permutation, layout policy) — the paper stores "both orders" of
@@ -119,7 +232,7 @@ func (db *DB) AddTrie(name string, t *trie.Trie) *Relation {
 	}
 	db.mu.Lock()
 	db.rels[name] = r
-	db.version.Add(1)
+	db.bumpRelLocked(name)
 	db.mu.Unlock()
 	return r
 }
@@ -153,7 +266,8 @@ func (db *DB) ReplaceGraph(name string, g *graph.Graph, dict *graph.Dictionary, 
 	db.mu.Lock()
 	db.rels[name] = r
 	db.dict = dict
-	db.version.Add(1)
+	db.bumpRelLocked(name)
+	db.dictEpoch = db.epochs[name]
 	db.mu.Unlock()
 	return r
 }
@@ -171,7 +285,7 @@ func (db *DB) Relation(name string) (*Relation, bool) {
 func (db *DB) Drop(name string) {
 	db.mu.Lock()
 	delete(db.rels, name)
-	db.version.Add(1)
+	db.bumpRelLocked(name)
 	db.mu.Unlock()
 }
 
@@ -299,13 +413,14 @@ type Options struct {
 	// harness uses it to reproduce the paper's "t/o" entries.
 	Timeout time.Duration
 	// Limit pushes a row budget into listing execution: the final listing
-	// bag stops its loop nest cooperatively once Limit output rows are
-	// emitted (Result.Truncated reports the early stop), instead of
-	// materializing the full join. It applies only to un-aggregated
-	// rules; aggregates execute in full. When the listing projects
-	// variables away, the budget counts pre-deduplication rows, so the
-	// truncated result may hold slightly fewer than Limit tuples. 0 means
-	// no limit.
+	// bag stops its loop nest cooperatively once Limit distinct output
+	// tuples have been emitted (Result.Truncated reports the early stop),
+	// instead of materializing the full join. The budget counts
+	// post-deduplication tuples even when the listing projects variables
+	// away, so a limited result holds at least Limit distinct tuples
+	// whenever the full result has that many (workers may overshoot by
+	// the tuples in flight when the stop latches). It applies only to
+	// un-aggregated rules; aggregates execute in full. 0 means no limit.
 	Limit int
 }
 

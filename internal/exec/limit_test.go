@@ -55,6 +55,48 @@ func TestLimitPushdownTriangleListing(t *testing.T) {
 	}
 }
 
+// TestLimitProjectedCountsDistinct pins the post-dedup limit semantics:
+// a projected listing (P2 projects y away, so the loop nest emits the
+// same (x,z) pair once per witness y) with limit k must return at least
+// k distinct tuples whenever the full result has that many — the budget
+// counts distinct output tuples, not pre-dedup emitted rows.
+func TestLimitProjectedCountsDistinct(t *testing.T) {
+	g := testGraph(120, 2400, 17) // dense enough that (x,z) pairs have many witnesses
+	db := dbWithGraph(g)
+	const q = `P2(x,z) :- R(x,y),S(y,z).`
+
+	full := mustRun(t, db, q, OptDefault)
+	total := full.Cardinality()
+	if total < 200 {
+		t.Fatalf("graph too sparse: %d distinct 2-paths", total)
+	}
+
+	for _, par := range []int{1, 8} {
+		limit := 50
+		res := mustRun(t, db, q, Options{Limit: limit, Parallelism: par})
+		if !res.Truncated {
+			t.Fatalf("par=%d: expected truncated result", par)
+		}
+		if got := res.Cardinality(); got < limit || got >= total {
+			t.Fatalf("par=%d: %d distinct tuples, want [%d,%d) — limit must count post-dedup",
+				par, got, limit, total)
+		}
+		// Every returned pair must be a real 2-path.
+		res.ForEach(func(tp []uint32, _ float64) {
+			okPath := false
+			for _, y := range g.Adj[tp[0]] {
+				if hasEdge(g, y, tp[1]) {
+					okPath = true
+					break
+				}
+			}
+			if !okPath {
+				t.Fatalf("par=%d: %v is not a 2-path", par, tp)
+			}
+		})
+	}
+}
+
 func TestLimitIgnoredForAggregates(t *testing.T) {
 	g := testGraph(150, 900, 12)
 	db := dbWithGraph(g)

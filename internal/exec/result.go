@@ -39,6 +39,19 @@ func (r *Result) ForEach(f func(tuple []uint32, ann float64)) {
 	r.Trie.ForEachTuple(f)
 }
 
+// Columns materializes the first max result tuples (max <= 0 means all)
+// into flat per-attribute columns plus the aligned annotation column
+// (nil for un-annotated results). Large listings decode an order of
+// magnitude faster this way than through the per-tuple ForEach walk —
+// leaf values bulk-copy straight out of the trie's leaf sets.
+func (r *Result) Columns(max int) ([][]uint32, []float64) {
+	cols, anns := r.Trie.Columns(max)
+	if !r.Trie.Annotated {
+		anns = nil
+	}
+	return cols, anns
+}
+
 // String summarizes the result.
 func (r *Result) String() string {
 	if r.Trie.Arity == 0 {

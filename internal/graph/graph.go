@@ -155,6 +155,22 @@ func (d *Dictionary) Decode(code uint32) int64 { return d.toOrig[code] }
 // Len returns the number of encoded identifiers.
 func (d *Dictionary) Len() int { return len(d.toOrig) }
 
+// Origs exposes the code → original-identifier column (index = code).
+// The slice is the dictionary's backing store; callers must not modify
+// it. The snapshot writer serializes it verbatim.
+func (d *Dictionary) Origs() []int64 { return d.toOrig }
+
+// DictFromOrigs rebuilds a dictionary from its code → original column
+// (the snapshot restore path): code i maps to origs[i]. The reverse map
+// is reconstructed eagerly.
+func DictFromOrigs(origs []int64) *Dictionary {
+	d := &Dictionary{toCode: make(map[int64]uint32, len(origs)), toOrig: origs}
+	for c, o := range origs {
+		d.toCode[o] = uint32(c)
+	}
+	return d
+}
+
 // Permute renumbers the dictionary with perm (perm[oldCode] = newCode),
 // keeping original identifiers attached to their vertices.
 func (d *Dictionary) Permute(perm []uint32) {

@@ -131,6 +131,10 @@ type planEntry struct {
 	attrToCanon map[string]string
 	prep        *exec.Prepared
 	epoch       uint64
+	// reads is the program's conservative relation read set (sorted);
+	// result-cache entries computed under this plan stamp their validity
+	// with the epochs of exactly these relations.
+	reads []string
 }
 
 // aliasEntry maps one exact query text to its fingerprint plus the

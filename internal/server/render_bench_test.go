@@ -1,0 +1,71 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+
+	"emptyheaded/internal/core"
+	"emptyheaded/internal/exec"
+	"emptyheaded/internal/gen"
+)
+
+// bigListing materializes a few-hundred-k-row 2-path listing once.
+func bigListing(b *testing.B) (*exec.Result, int) {
+	b.Helper()
+	eng := core.New()
+	eng.LoadGraph("Edge", gen.ErdosRenyi(4000, 16000, 5))
+	res, err := eng.Run(`P2(x,z) :- Edge(x,y),Edge(y,z).`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res, res.Cardinality()
+}
+
+// BenchmarkRenderWalk is the old path: per-tuple trie walk into row
+// tuples, then JSON encoding.
+func BenchmarkRenderWalk(b *testing.B) {
+	res, n := bigListing(b)
+	s := &Server{}
+	enc := json.NewEncoder(io.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := QueryResponse{Name: res.Name, Attrs: res.Attrs, Cardinality: n}
+		s.renderWalk(&resp, res, n, nil)
+		if err := enc.Encode(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRenderColumnsRows extracts columns in bulk and assembles row
+// tuples (the default shape for big listings).
+func BenchmarkRenderColumnsRows(b *testing.B) {
+	res, n := bigListing(b)
+	s := &Server{}
+	enc := json.NewEncoder(io.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := QueryResponse{Name: res.Name, Attrs: res.Attrs, Cardinality: n}
+		s.renderColumns(&resp, res, n, nil, false)
+		if err := enc.Encode(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRenderColumnsWire serializes the columnar wire shape
+// (columns:true): per-attribute arrays end to end.
+func BenchmarkRenderColumnsWire(b *testing.B) {
+	res, n := bigListing(b)
+	s := &Server{}
+	enc := json.NewEncoder(io.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := QueryResponse{Name: res.Name, Attrs: res.Attrs, Cardinality: n}
+		s.renderColumns(&resp, res, n, nil, true)
+		if err := enc.Encode(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,6 +11,8 @@
 //	POST /explain   {"query": "..."}                      render the physical plan
 //	GET  /relations                                       catalog of stored relations
 //	POST /load      {"name": "Edge", "path"|"edges"|...}  load a relation, invalidate caches
+//	POST /snapshot  {"dir": "/data/snap"}                 persist the database (binary snapshot)
+//	POST /restore   {"dir": "/data/snap"}                 replace the database from a snapshot
 //	GET  /stats                                           per-endpoint latency + cache counters
 //	GET  /metrics                                         the same counters in Prometheus text format
 //	GET  /healthz                                         liveness
@@ -21,9 +23,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"emptyheaded/internal/core"
@@ -31,6 +35,7 @@ import (
 	"emptyheaded/internal/exec"
 	"emptyheaded/internal/graph"
 	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/storage"
 )
 
 // Config sizes the service; zero values take the documented defaults.
@@ -53,6 +58,11 @@ type Config struct {
 	// DefaultLimit caps tuples rendered in a response when the request
 	// doesn't set its own limit (default 1000).
 	DefaultLimit int
+	// DataDir is the default snapshot directory for /snapshot and
+	// /restore requests that don't name one (and the directory eh-server
+	// auto-restores from on boot / snapshots to on SIGTERM). Empty means
+	// requests must name a directory explicitly.
+	DataDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +100,14 @@ type Server struct {
 	adm     *admission
 	start   time.Time
 
+	// gen is the database generation: it advances on every /restore.
+	// Result-cache keys embed it because snapshot epochs are adopted
+	// verbatim on install and are NOT comparable across generations — a
+	// query in flight during a restore would otherwise cache a
+	// pre-restore result whose epoch stamps can collide with the restored
+	// database's epochs and be served as fresh.
+	gen atomic.Uint64
+
 	endpoints map[string]*latencyWindow
 }
 
@@ -117,6 +135,8 @@ func New(eng *core.Engine, cfg Config) *Server {
 			"/explain":   newLatencyWindow(),
 			"/relations": newLatencyWindow(),
 			"/load":      newLatencyWindow(),
+			"/snapshot":  newLatencyWindow(),
+			"/restore":   newLatencyWindow(),
 			"/stats":     newLatencyWindow(),
 		},
 	}
@@ -130,6 +150,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/explain", s.instrument("/explain", s.handleExplain))
 	mux.HandleFunc("/relations", s.instrument("/relations", s.handleRelations))
 	mux.HandleFunc("/load", s.instrument("/load", s.handleLoad))
+	mux.HandleFunc("/snapshot", s.instrument("/snapshot", s.handleSnapshot))
+	mux.HandleFunc("/restore", s.instrument("/restore", s.handleRestore))
 	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -207,6 +229,12 @@ type QueryRequest struct {
 	// NoCache skips the result cache for this request (it still
 	// populates and uses the plan cache).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Columns selects the columnar wire shape: the response carries
+	// per-attribute arrays ("columns") instead of row tuples. Big
+	// listings serialize substantially faster this way (one array per
+	// attribute instead of one small array per row), and the server
+	// extracts them straight from the result trie's flat columns.
+	Columns bool `json:"columns,omitempty"`
 }
 
 // QueryResponse is the /query reply.
@@ -219,6 +247,10 @@ type QueryResponse struct {
 	Cardinality int       `json:"cardinality"`
 	Scalar      *float64  `json:"scalar,omitempty"`
 	Tuples      [][]int64 `json:"tuples,omitempty"`
+	// Columns holds the columnar wire shape (Columns[i] is attribute i of
+	// every rendered tuple), mutually exclusive with Tuples; requested
+	// via QueryRequest.Columns.
+	Columns [][]int64 `json:"columns,omitempty"`
 	// Anns holds per-tuple annotations, aligned with Tuples, when the
 	// result is annotated.
 	Anns      []float64 `json:"anns,omitempty"`
@@ -230,9 +262,40 @@ type QueryResponse struct {
 	ResultCached bool `json:"result_cached"`
 }
 
+// cachedResult is one result-cache slot. Instead of the retired global
+// database version, validity is the vector of per-relation epochs of the
+// query's read set plus the dictionary epoch: a /load of relation R only
+// invalidates entries whose reads include R (or that decode through a
+// replaced dictionary), so unrelated hot queries keep their cache across
+// loads.
 type cachedResult struct {
-	epoch uint64
-	resp  QueryResponse
+	reads     []string
+	relEpochs []uint64
+	dictEpoch uint64
+	resp      QueryResponse
+}
+
+// fresh reports whether cr is still valid against db's current epochs.
+func (cr *cachedResult) fresh(db *exec.DB) bool {
+	eps, dictEpoch := db.EpochsWithDict(cr.reads)
+	if dictEpoch != cr.dictEpoch {
+		return false
+	}
+	for i, e := range eps {
+		if e != cr.relEpochs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// resultCacheKey keys a cached response: database generation +
+// fingerprint + response-shaping parameters (limit and wire shape). The
+// generation prefix strands entries cached by queries that were already
+// executing when a /restore swapped the database (they age out of the
+// LRU).
+func resultCacheKey(gen uint64, fp string, limit int, columns bool) string {
+	return fmt.Sprintf("g%d/%s/%d/c=%t", gen, fp, limit, columns)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -259,7 +322,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// without taking a worker slot — a map lookup shouldn't queue behind
 	// heavy joins.
 	if !req.NoCache {
-		if resp, ok := s.cachedByText(req.Query, limit); ok {
+		if resp, ok := s.cachedByText(&req, limit); ok {
 			resp.ElapsedUS = time.Since(t0).Microseconds()
 			writeJSON(w, http.StatusOK, resp)
 			return
@@ -288,18 +351,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // parsing) and serves a fresh result-cache entry, re-labeled with this
 // spelling's attribute names. All lookups use peek so the full path's
 // accounting isn't double-booked when this misses.
-func (s *Server) cachedByText(query string, limit int) (QueryResponse, bool) {
-	av, ok := s.plans.aliases.peek(query)
+func (s *Server) cachedByText(req *QueryRequest, limit int) (QueryResponse, bool) {
+	av, ok := s.plans.aliases.peek(req.Query)
 	if !ok {
 		return QueryResponse{}, false
 	}
 	alias := av.(*aliasEntry)
-	rv, ok := s.results.peek(fmt.Sprintf("%s/%d", alias.fp, limit))
+	rv, ok := s.results.peek(resultCacheKey(s.gen.Load(), alias.fp, limit, req.Columns))
 	if !ok {
 		return QueryResponse{}, false
 	}
 	cr := rv.(*cachedResult)
-	if cr.epoch != s.eng.Version() {
+	if !cr.fresh(s.eng.DB) {
 		return QueryResponse{}, false
 	}
 	resp := cr.resp
@@ -339,26 +402,32 @@ func (s *Server) runQuery(req *QueryRequest, limit int) (QueryResponse, error) {
 	// Fork per request: the query runs against a consistent snapshot of
 	// relations + dictionary (a concurrent /load can't swap data mid
 	// query), and intermediate head relations stay session-local. The
-	// fork's version is the epoch every cache interaction keys on.
+	// fork's global version gates plan recompilation; the fork's
+	// per-relation epochs stamp result-cache entries. The generation is
+	// read before the fork: a restore between the two strands this
+	// request's cache fill under the old generation (harmless), never
+	// files a pre-restore result under the new one.
+	gen := s.gen.Load()
 	fork := s.eng.DB.Fork()
 	epoch := fork.Version()
 	entry, alias, planHit, err := s.prepared(req.Query, fork, epoch)
 	if err != nil {
 		return QueryResponse{}, err
 	}
+	relEpochs, dictEpoch := fork.EpochsWithDict(entry.reads)
 
-	resultKey := fmt.Sprintf("%s/%d", entry.fp, limit)
+	resultKey := resultCacheKey(gen, entry.fp, limit, req.Columns)
 	if !req.NoCache {
 		if v, ok := s.results.get(resultKey); ok {
 			cr := v.(*cachedResult)
-			if cr.epoch == epoch {
+			if cr.fresh(fork) {
 				resp := cr.resp // copy; attrs re-labeled per spelling
 				resp.Attrs = mapAttrs(resp.Attrs, alias.canonToClient)
 				resp.ResultCached = true
 				resp.PlanCached = planHit
 				return resp, nil
 			}
-			s.results.remove(resultKey) // stale epoch
+			s.results.remove(resultKey) // some read relation (or the dict) moved on
 		}
 	}
 
@@ -383,14 +452,19 @@ func (s *Server) runQuery(req *QueryRequest, limit int) (QueryResponse, error) {
 		return QueryResponse{}, err
 	}
 
-	resp := s.render(res, limit, fork.Dict())
+	resp := s.render(res, limit, fork.Dict(), req.Columns)
 	resp.Truncated = resp.Truncated || res.Truncated
 	resp.PlanCached = planHit
 	// Canonicalize attribute names before caching so a future serve (or a
 	// recreated plan entry) can re-label them for any spelling.
 	resp.Attrs = mapAttrs(resp.Attrs, entry.attrToCanon)
 	if !req.NoCache && res.Trie.Cardinality() <= s.cfg.MaxCachedTuples {
-		s.results.put(resultKey, &cachedResult{epoch: epoch, resp: resp})
+		s.results.put(resultKey, &cachedResult{
+			reads:     entry.reads,
+			relEpochs: relEpochs,
+			dictEpoch: dictEpoch,
+			resp:      resp,
+		})
 	}
 	resp.Attrs = mapAttrs(resp.Attrs, alias.canonToClient)
 	return resp, nil
@@ -433,7 +507,10 @@ func (s *Server) prepared(query string, fork *exec.DB, epoch uint64) (*planEntry
 			if err != nil {
 				return nil, nil, false, badRequest("compile: %v", err)
 			}
-			entry = &planEntry{fp: alias.fp, prog: prog, attrToCanon: varMap, prep: prep, epoch: epoch}
+			entry = &planEntry{
+				fp: alias.fp, prog: prog, attrToCanon: varMap,
+				prep: prep, epoch: epoch, reads: prog.Relations(),
+			}
 			s.plans.plans.put(alias.fp, entry)
 		}
 		s.plans.aliases.put(query, alias)
@@ -474,11 +551,19 @@ func invert(m map[string]string) map[string]string {
 	return out
 }
 
+// columnarRenderMin is the listing size at which render switches from
+// the per-tuple trie walk to columnar extraction: big listings bulk-copy
+// out of the result trie's flat columns (leaf sets are the columns)
+// instead of re-discovering every tuple through nested set iteration.
+const columnarRenderMin = 4096
+
 // render decodes a result into the wire shape, translating dense codes
 // back to original vertex identifiers through the dictionary snapshot of
 // the fork the query executed on (the live dictionary may already belong
-// to a newer load).
-func (s *Server) render(res *exec.Result, limit int, dict *graph.Dictionary) QueryResponse {
+// to a newer load). asColumns selects the columnar wire shape; row-shaped
+// responses above columnarRenderMin still decode through the columnar
+// extractor and only assemble rows at the end.
+func (s *Server) render(res *exec.Result, limit int, dict *graph.Dictionary, asColumns bool) QueryResponse {
 	resp := QueryResponse{
 		Name:        res.Name,
 		Attrs:       res.Attrs,
@@ -489,6 +574,16 @@ func (s *Server) render(res *exec.Result, limit int, dict *graph.Dictionary) Que
 		resp.Scalar = &v
 		return resp
 	}
+	if asColumns || resp.Cardinality >= columnarRenderMin {
+		s.renderColumns(&resp, res, limit, dict, asColumns)
+		return resp
+	}
+	s.renderWalk(&resp, res, limit, dict)
+	return resp
+}
+
+// renderWalk is the row-at-a-time path for small listings.
+func (s *Server) renderWalk(resp *QueryResponse, res *exec.Result, limit int, dict *graph.Dictionary) {
 	annotated := res.Trie.Annotated
 	res.ForEach(func(tuple []uint32, ann float64) {
 		if len(resp.Tuples) >= limit {
@@ -508,7 +603,47 @@ func (s *Server) render(res *exec.Result, limit int, dict *graph.Dictionary) Que
 			resp.Anns = append(resp.Anns, ann)
 		}
 	})
-	return resp
+}
+
+// renderColumns serializes straight from the result trie's flat columns:
+// one bulk extraction per attribute, one decode pass per column, and —
+// for row-shaped responses — one final row assembly over plain slices.
+func (s *Server) renderColumns(resp *QueryResponse, res *exec.Result, limit int, dict *graph.Dictionary, asColumns bool) {
+	cols, anns := res.Columns(limit)
+	n := 0
+	if len(cols) > 0 {
+		n = len(cols[0])
+	}
+	if n < resp.Cardinality {
+		resp.Truncated = true
+	}
+	decoded := make([][]int64, len(cols))
+	for c, col := range cols {
+		out := make([]int64, len(col))
+		if dict != nil {
+			for i, v := range col {
+				out[i] = dict.Decode(v)
+			}
+		} else {
+			for i, v := range col {
+				out[i] = int64(v)
+			}
+		}
+		decoded[c] = out
+	}
+	resp.Anns = anns
+	if asColumns {
+		resp.Columns = decoded
+		return
+	}
+	resp.Tuples = make([][]int64, n)
+	for i := 0; i < n; i++ {
+		row := make([]int64, len(decoded))
+		for c := range decoded {
+			row[c] = decoded[c][i]
+		}
+		resp.Tuples[i] = row
+	}
 }
 
 // ExplainRequest is the /explain body.
@@ -593,9 +728,11 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	// Every load invalidates cached results; plan-cache entries recompile
-	// lazily via the epoch check.
-	s.results.purge()
+	// No cache purge: result-cache entries carry the per-relation epochs
+	// of their read sets, so entries that read req.Name (or that decode
+	// through a dictionary this load replaced) invalidate lazily on their
+	// next lookup, while unrelated queries keep serving from cache.
+	// Plan-cache entries recompile lazily via the version check.
 	rel, _ := s.eng.DB.Relation(req.Name)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"name":        req.Name,
@@ -656,6 +793,115 @@ func (s *Server) load(req *LoadRequest) error {
 		return nil
 	}
 	return badRequest("one of \"path\", \"edges\", \"tuples\" or \"columns\" required")
+}
+
+// SnapshotRequest is the /snapshot and /restore body; Dir falls back to
+// the server's configured data directory.
+type SnapshotRequest struct {
+	Dir string `json:"dir,omitempty"`
+}
+
+func (s *Server) snapshotDir(req *SnapshotRequest) (string, error) {
+	if req.Dir != "" {
+		return req.Dir, nil
+	}
+	if s.cfg.DataDir != "" {
+		return s.cfg.DataDir, nil
+	}
+	return "", badRequest("no \"dir\" in request and no -data-dir configured")
+}
+
+// handleSnapshot persists the whole database as a binary snapshot
+// (POST /snapshot {"dir": "..."}). The snapshot is taken from a fork, so
+// concurrent queries and loads proceed; the write itself is bounded by
+// the admission gate like any other heavy operation.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	var req SnapshotRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, badRequest("bad request body: %v", err))
+		return
+	}
+	dir, err := s.snapshotDir(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	t0 := time.Now()
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	cat, err := s.eng.Snapshot(dir)
+	release()
+	if err != nil {
+		writeErr(w, fmt.Errorf("snapshot: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dir":        dir,
+		"relations":  len(cat.Relations),
+		"tuples":     cat.CardinalityTotal(),
+		"bytes":      cat.BytesTotal(),
+		"elapsed_us": time.Since(t0).Microseconds(),
+	})
+}
+
+// handleRestore atomically replaces the database from a snapshot
+// directory (POST /restore {"dir": "..."}): in-flight queries finish on
+// their forks of the old database, new requests see the restored one.
+// The result cache is purged wholesale — snapshot epochs come from
+// another database generation and are not comparable with the entries'
+// stamps.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	var req SnapshotRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, badRequest("bad request body: %v", err))
+		return
+	}
+	dir, err := s.snapshotDir(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	t0 := time.Now()
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	cat, err := s.eng.Restore(dir)
+	if err == nil {
+		// New generation first (strands in-flight cache fills), then drop
+		// the old generation's entries wholesale.
+		s.gen.Add(1)
+		s.results.purge()
+	}
+	release()
+	if err != nil {
+		var ce *storage.CorruptionError
+		if errors.As(err, &ce) {
+			writeErr(w, &httpError{http.StatusConflict, err.Error()})
+			return
+		}
+		writeErr(w, badRequest("restore: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dir":        dir,
+		"relations":  len(cat.Relations),
+		"tuples":     cat.CardinalityTotal(),
+		"bytes":      cat.BytesTotal(),
+		"elapsed_us": time.Since(t0).Microseconds(),
+	})
 }
 
 // Stats is the /stats reply.

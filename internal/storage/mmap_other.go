@@ -1,0 +1,22 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// mapping holds a fully read segment on platforms without mmap.
+type mapping struct {
+	data []byte
+}
+
+// mapFile reads the whole file — the portable fallback; restore is still
+// one sequential read plus zero-copy aliasing into the buffer.
+func mapFile(path string) (mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return mapping{}, err
+	}
+	return mapping{data: data}, nil
+}
+
+func (m mapping) close() error { return nil }
