@@ -6,12 +6,17 @@
 //
 //	eh-bench [-exp table5,fig7] [-quick] [-reps 3]
 //	eh-bench -serve-url http://localhost:8080 [-serve-duration 5s] [-serve-concurrency 8] [-serve-mix queries.txt]
+//	eh-bench -serve-url http://localhost:8080 -mixed [-update-concurrency 2] [-update-batch 64] [-delete-frac 0.5]
 //
 // With no -exp flag every experiment runs in paper order. With -serve-url
 // the experiments are skipped: the query mix (one datalog program per
 // line of -serve-mix, or the built-in triangle/path/degree mix over Edge)
 // is replayed against the server and throughput plus latency percentiles
-// are reported.
+// are reported. Adding -mixed interleaves a streaming-update workload
+// (random insert/delete batches against /update) with the query replay
+// and additionally reports update throughput, update latency, and the
+// server's WAL/compaction counters over the run — query p50/p99 under
+// churn is the headline number.
 package main
 
 import (
@@ -34,27 +39,61 @@ func main() {
 	serveMix := flag.String("serve-mix", "", "file with one datalog program per line (default: built-in triangle/path/degree mix)")
 	serveRelation := flag.String("serve-relation", "Edge", "edge relation name used by the built-in mix")
 	serveNoCache := flag.Bool("serve-nocache", false, "set no_cache on requests (measure execution, not result-cache hits)")
+	mixed := flag.Bool("mixed", false, "mixed workload: stream /update batches alongside the query replay (needs -serve-url)")
+	updateConcurrency := flag.Int("update-concurrency", 2, "update workers for -mixed")
+	updateBatch := flag.Int("update-batch", 64, "rows per update batch for -mixed")
+	deleteFrac := flag.Float64("delete-frac", 0.5, "fraction of -mixed update batches that delete a previously inserted batch")
+	keySpace := flag.Int("keyspace", 1<<20, "vertex id space for -mixed random edges")
+	seed := flag.Int64("update-seed", 1, "seed for the -mixed update stream")
 	flag.Parse()
 
-	if *serveURL != "" {
-		queries := bench.DefaultQueryMix(*serveRelation)
-		if *serveMix != "" {
-			data, err := os.ReadFile(*serveMix)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "eh-bench:", err)
-				os.Exit(1)
-			}
-			queries = queries[:0]
-			for _, line := range strings.Split(string(data), "\n") {
-				if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
-					queries = append(queries, line)
-				}
-			}
-			if len(queries) == 0 {
-				fmt.Fprintf(os.Stderr, "eh-bench: %s contains no queries\n", *serveMix)
-				os.Exit(2)
+	// Resolve the query mix once; both serve modes honor -serve-mix.
+	queries := bench.DefaultQueryMix(*serveRelation)
+	if *serveURL != "" && *serveMix != "" {
+		data, err := os.ReadFile(*serveMix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eh-bench:", err)
+			os.Exit(1)
+		}
+		queries = queries[:0]
+		for _, line := range strings.Split(string(data), "\n") {
+			if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
+				queries = append(queries, line)
 			}
 		}
+		if len(queries) == 0 {
+			fmt.Fprintf(os.Stderr, "eh-bench: %s contains no queries\n", *serveMix)
+			os.Exit(2)
+		}
+	}
+
+	if *mixed {
+		if *serveURL == "" {
+			fmt.Fprintln(os.Stderr, "eh-bench: -mixed requires -serve-url")
+			os.Exit(2)
+		}
+		rep, err := bench.RunMixed(bench.MixedConfig{
+			URL:               *serveURL,
+			Queries:           queries,
+			Relation:          *serveRelation,
+			QueryConcurrency:  *serveConcurrency,
+			UpdateConcurrency: *updateConcurrency,
+			Duration:          *serveDuration,
+			BatchRows:         *updateBatch,
+			DeleteFrac:        *deleteFrac,
+			KeySpace:          *keySpace,
+			Seed:              *seed,
+			NoResultCache:     *serveNoCache,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eh-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Format())
+		return
+	}
+
+	if *serveURL != "" {
 		rep, err := bench.RunLoad(bench.LoadConfig{
 			URL:           *serveURL,
 			Queries:       queries,

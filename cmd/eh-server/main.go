@@ -4,16 +4,24 @@
 // data directory it restores from on boot (mmap zero-copy, so a large
 // database is serving in milliseconds) and snapshots to on SIGTERM.
 //
+// With -wal-dir the server keeps a write-ahead log of streaming updates
+// (POST /update): every acknowledged batch is journaled under the
+// configured -fsync policy before it applies, the log replays on boot
+// on top of the -data-dir snapshot, and a successful snapshot truncates
+// the segments it absorbed.
+//
 // Usage:
 //
 //	eh-server -addr :8080 -graph edges.txt                # serve an edge list as Edge
 //	eh-server -addr :8080 -synthetic 10000 -degree 16     # serve a synthetic power-law graph
 //	eh-server -addr :8080 -data-dir /data/eh              # restore on boot, snapshot on SIGTERM
+//	eh-server -addr :8080 -data-dir /data/eh -wal-dir /data/eh-wal -fsync always
 //	eh-server -addr :8080                                 # start empty; POST /load
 //
 // Quickstart once running:
 //
 //	curl -s localhost:8080/query -d '{"query":"TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>."}'
+//	curl -s localhost:8080/update -d '{"name":"Edge","inserts":[[1,2],[2,3]]}'
 //	curl -s localhost:8080/snapshot -d '{}'               # persist now (with -data-dir)
 package main
 
@@ -33,6 +41,7 @@ import (
 	"emptyheaded/internal/gen"
 	"emptyheaded/internal/server"
 	"emptyheaded/internal/storage"
+	"emptyheaded/internal/wal"
 )
 
 func main() {
@@ -44,6 +53,11 @@ func main() {
 	degree := flag.Int("degree", 16, "average degree of the synthetic graph")
 	seed := flag.Int64("seed", 1, "synthetic graph seed")
 	dataDir := flag.String("data-dir", "", "snapshot directory: auto-restore on boot, snapshot on SIGTERM, default for /snapshot and /restore")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: journal /update batches, replay on boot, truncate on snapshot")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always (durable per batch), interval, or off")
+	fsyncInterval := flag.Duration("fsync-interval", 50*time.Millisecond, "flush cadence for -fsync interval")
+	compactRatio := flag.Float64("compact-ratio", core.DefaultCompactRatio, "overlay/base row ratio that triggers background compaction (0 disables)")
+	compactMin := flag.Int("compact-min", core.DefaultCompactMin, "minimum overlay rows before compaction is considered")
 	workers := flag.Int("workers", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission gate size (0 = 4x workers)")
 	queueWait := flag.Duration("queue-wait", 2*time.Second, "max time a request waits for a worker slot")
@@ -79,6 +93,40 @@ func main() {
 		g := gen.PowerLaw(*synthetic, *synthetic**degree, 2.1, *seed)
 		eng.LoadGraph(*name, g)
 	}
+	// Loads are not journaled — the WAL covers /update batches only. A
+	// database seeded from flags would therefore not survive a crash, so
+	// with both -data-dir and -wal-dir configured the seed is snapshotted
+	// immediately: base in the snapshot, updates in the log.
+	if *walDir != "" && *dataDir != "" && !storage.Exists(*dataDir) && len(eng.Relations()) > 0 {
+		t0 := time.Now()
+		cat, err := eng.Snapshot(*dataDir)
+		if err != nil {
+			fatal(fmt.Errorf("initial snapshot %s: %w", *dataDir, err))
+		}
+		log.Printf("eh-server: seed snapshot %s to %s in %v", cat, *dataDir, time.Since(t0))
+	}
+	// WAL opens after the snapshot restore, so its records replay on top
+	// of the restored state (records the snapshot already absorbed were
+	// truncated away; survivors re-apply idempotently).
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		eng.SetAutoCompact(*compactRatio, *compactMin)
+		st, err := eng.OpenWAL(core.WALConfig{
+			Dir:          *walDir,
+			Sync:         policy,
+			SyncInterval: *fsyncInterval,
+			SnapshotDir:  *dataDir,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("wal %s: %w", *walDir, err))
+		}
+		log.Printf("eh-server: wal %s (fsync=%s): replayed %d records (%d rows, %d relations) in %dus%s",
+			*walDir, policy, st.Records, st.Rows, st.Relations, st.DurationUS,
+			map[bool]string{true: ", torn tail truncated", false: ""}[st.Truncated])
+	}
 	for _, ri := range eng.Relations() {
 		log.Printf("eh-server: relation %s arity=%d cardinality=%d", ri.Name, ri.Arity, ri.Cardinality)
 	}
@@ -113,9 +161,16 @@ func main() {
 			cat, err := eng.Snapshot(*dataDir)
 			if err != nil {
 				log.Printf("eh-server: final snapshot failed: %v", err)
-				return
+			} else {
+				log.Printf("eh-server: snapshotted %s to %s in %v", cat, *dataDir, time.Since(t0))
 			}
-			log.Printf("eh-server: snapshotted %s to %s in %v", cat, *dataDir, time.Since(t0))
+		}
+		// Close the WAL last: if the final snapshot failed (or there is
+		// no data dir), its records remain the recovery source.
+		if *walDir != "" {
+			if err := eng.CloseWAL(); err != nil {
+				log.Printf("eh-server: wal close: %v", err)
+			}
 		}
 	}()
 

@@ -147,3 +147,34 @@ func (e *Engine) Run(query string) (*Result, error) { return e.c.Run(query) }
 // Explain renders the physical plan of a single-rule query: the GHD, the
 // global attribute order, and the generated loop nest (Figure 1).
 func (e *Engine) Explain(query string) (string, error) { return e.c.Explain(query) }
+
+// Insert streams tuples into a relation without rebuilding its trie:
+// the rows land in the relation's delta overlay and queries see the
+// merged view immediately (see docs/DURABILITY.md). A relation that
+// doesn't exist yet is created with the tuples' arity.
+func (e *Engine) Insert(name string, tuples [][]uint32) error {
+	cols, err := core.RowsToColumns(tuples)
+	if err != nil {
+		return err
+	}
+	_, err = e.c.Update(core.UpdateBatch{Rel: name, InsCols: cols})
+	return err
+}
+
+// Delete streams full-tuple deletes into a relation (deleting an
+// absent tuple is a no-op).
+func (e *Engine) Delete(name string, tuples [][]uint32) error {
+	cols, err := core.RowsToColumns(tuples)
+	if err != nil {
+		return err
+	}
+	_, err = e.c.Update(core.UpdateBatch{Rel: name, DelCols: cols})
+	return err
+}
+
+// Compact folds a relation's pending overlay into a fresh base trie
+// (queries are unaffected; the overlay simply resets).
+func (e *Engine) Compact(name string) error {
+	_, err := e.c.Compact(name)
+	return err
+}

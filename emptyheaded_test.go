@@ -122,3 +122,45 @@ func TestAnnotatedRelationAPI(t *testing.T) {
 		t.Fatal("alias of missing relation should fail")
 	}
 }
+
+func TestStreamingUpdateAPI(t *testing.T) {
+	eng := New()
+	eng.AddRelation("E", 2, [][]uint32{{0, 1}, {1, 2}, {0, 2}})
+	res, err := eng.Run(`TC(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar() != 1 {
+		t.Fatalf("seed triangles = %g", res.Scalar())
+	}
+	// Stream a second triangle in, delete the first one's chord.
+	if err := eng.Insert("E", [][]uint32{{1, 3}, {3, 4}, {1, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Delete("E", [][]uint32{{0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Run(`TC(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar() != 1 {
+		t.Fatalf("triangles after stream = %g, want 1", res.Scalar())
+	}
+	if err := eng.Compact("E"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Run(`TC(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar() != 1 {
+		t.Fatalf("triangles after compaction = %g, want 1", res.Scalar())
+	}
+	if err := eng.Insert("E", nil); err == nil {
+		t.Fatal("empty insert should fail")
+	}
+	if err := eng.Insert("E", [][]uint32{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged insert should fail")
+	}
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/wal"
+)
+
+func walCfg(dir string) WALConfig {
+	return WALConfig{Dir: dir, Sync: wal.SyncAlways}
+}
+
+// TestWALReplayFreshEngine: updates journaled by one engine are fully
+// recovered by a second engine replaying the same WAL directory, with
+// no snapshot involved — even the relation itself is created by replay.
+func TestWALReplayFreshEngine(t *testing.T) {
+	dir := t.TempDir()
+	eng := New()
+	if _, err := eng.OpenWAL(walCfg(dir)); err != nil {
+		t.Fatal(err)
+	}
+	model := edgeSet{}
+	apply := func(ins, del [][2]uint32) {
+		b := UpdateBatch{Rel: "Edge"}
+		if len(ins) > 0 {
+			b.InsCols = toCols(ins)
+		}
+		if len(del) > 0 {
+			b.DelCols = toCols(del)
+		}
+		if _, err := eng.Update(b); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range del {
+			delete(model, e)
+		}
+		for _, e := range ins {
+			model[e] = true
+		}
+	}
+	apply([][2]uint32{{1, 2}, {2, 3}, {3, 1}, {4, 5}}, nil)
+	apply([][2]uint32{{5, 6}}, [][2]uint32{{4, 5}})
+	apply(nil, [][2]uint32{{5, 6}, {9, 9}})
+	apply([][2]uint32{{4, 5}}, nil) // re-insert a deleted tuple
+	before := queryKey(t, eng, `L(x,y) :- Edge(x,y).`)
+	// Crash: the engine is dropped without snapshot or clean close.
+
+	eng2 := New()
+	st, err := eng2.OpenWAL(walCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 4 || st.Relations != 1 || st.Truncated {
+		t.Fatalf("replay stats %+v", st)
+	}
+	if got := queryKey(t, eng2, `L(x,y) :- Edge(x,y).`); got != before {
+		t.Fatalf("replayed state diverges:\n got %s\nwant %s", got, before)
+	}
+	ref := referenceEngine(model)
+	if got, want := queryKey(t, eng2, `L(x,y) :- Edge(x,y).`), queryKey(t, ref, `L(x,y) :- Edge(x,y).`); got != want {
+		t.Fatalf("replayed state vs model:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestWALReplayOnSnapshot: snapshot + WAL compose — records before the
+// snapshot truncate away, records after it replay on top of the
+// restore, and an interrupted engine converges with an uninterrupted
+// reference.
+func TestWALReplayOnSnapshot(t *testing.T) {
+	dataDir := t.TempDir()
+	walDir := t.TempDir()
+
+	eng := New()
+	eng.AddRelationColumns("Edge", toCols([][2]uint32{{1, 2}, {2, 3}, {3, 1}}), nil, semiring.None)
+	if _, err := eng.OpenWAL(WALConfig{Dir: walDir, Sync: wal.SyncAlways, SnapshotDir: dataDir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Update(UpdateBatch{Rel: "Edge", InsCols: toCols([][2]uint32{{1, 3}})}); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot: absorbs {1,3}, truncates the sealed segment.
+	if _, err := eng.Snapshot(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot updates live only in the WAL.
+	if _, err := eng.Update(UpdateBatch{Rel: "Edge", InsCols: toCols([][2]uint32{{3, 2}}), DelCols: toCols([][2]uint32{{1, 2}})}); err != nil {
+		t.Fatal(err)
+	}
+	want := queryKey(t, eng, `TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
+	wantList := queryKey(t, eng, `L(x,y) :- Edge(x,y).`)
+	// Crash without final snapshot.
+
+	eng2 := New()
+	if _, err := eng2.Restore(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng2.OpenWAL(walCfg(walDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 1 {
+		t.Fatalf("expected only the post-snapshot record to replay, got %+v", st)
+	}
+	if got := queryKey(t, eng2, `TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`); got != want {
+		t.Fatalf("triangle count diverges after restore+replay")
+	}
+	if got := queryKey(t, eng2, `L(x,y) :- Edge(x,y).`); got != wantList {
+		t.Fatalf("listing diverges after restore+replay:\n got %s\nwant %s", got, wantList)
+	}
+}
+
+// TestRestoreRotatesWAL: a runtime restore discards pre-restore
+// updates; the WAL must drop their records so a later boot doesn't
+// resurrect them.
+func TestRestoreRotatesWAL(t *testing.T) {
+	dataDir := t.TempDir()
+	walDir := t.TempDir()
+	eng := New()
+	eng.AddRelationColumns("Edge", toCols([][2]uint32{{1, 2}}), nil, semiring.None)
+	// Persist the base WITHOUT the WAL knowing (separate engine write).
+	if _, err := eng.Snapshot(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.OpenWAL(WALConfig{Dir: walDir, Sync: wal.SyncAlways, SnapshotDir: dataDir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Update(UpdateBatch{Rel: "Edge", InsCols: toCols([][2]uint32{{8, 8}})}); err != nil {
+		t.Fatal(err)
+	}
+	// Roll back to the snapshot: {8,8} must be gone and must NOT come
+	// back after a crash+replay.
+	if _, err := eng.Restore(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Update(UpdateBatch{Rel: "Edge", InsCols: toCols([][2]uint32{{9, 9}})}); err != nil {
+		t.Fatal(err)
+	}
+	want := queryKey(t, eng, `L(x,y) :- Edge(x,y).`)
+
+	eng2 := New()
+	if _, err := eng2.Restore(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng2.OpenWAL(walCfg(walDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 1 {
+		t.Fatalf("replay should hold only the post-restore record, got %+v", st)
+	}
+	if got := queryKey(t, eng2, `L(x,y) :- Edge(x,y).`); got != want {
+		t.Fatalf("rolled-back update resurrected:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestWALSurvivedSegmentIdempotent: if snapshot truncation never
+// happened (crash between snapshot commit and truncate), replaying the
+// pre-snapshot records on top of the snapshot is a no-op.
+func TestWALSurvivedSegmentIdempotent(t *testing.T) {
+	dataDir := t.TempDir()
+	walDir := t.TempDir()
+	eng := New()
+	if _, err := eng.OpenWAL(WALConfig{Dir: walDir, Sync: wal.SyncAlways, SnapshotDir: filepath.Join(dataDir, "elsewhere")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Update(UpdateBatch{Rel: "Edge", InsCols: toCols([][2]uint32{{1, 2}, {2, 1}})}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Update(UpdateBatch{Rel: "Edge", DelCols: toCols([][2]uint32{{2, 1}})}); err != nil {
+		t.Fatal(err)
+	}
+	// SnapshotDir doesn't match dataDir → segments survive the snapshot.
+	if _, err := eng.Snapshot(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	want := queryKey(t, eng, `L(x,y) :- Edge(x,y).`)
+
+	eng2 := New()
+	if _, err := eng2.Restore(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng2.OpenWAL(walCfg(walDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 {
+		t.Fatalf("survived segments should replay both records, got %+v", st)
+	}
+	if got := queryKey(t, eng2, `L(x,y) :- Edge(x,y).`); got != want {
+		t.Fatalf("idempotent replay diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestWALTornTailAtEngineLevel: a torn final record is truncated and
+// the intact prefix recovered.
+func TestWALTornTailAtEngineLevel(t *testing.T) {
+	walDir := t.TempDir()
+	eng := New()
+	if _, err := eng.OpenWAL(walCfg(walDir)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Update(UpdateBatch{Rel: "Edge", InsCols: toCols([][2]uint32{{1, 2}})}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Update(UpdateBatch{Rel: "Edge", InsCols: toCols([][2]uint32{{3, 4}})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: chop 3 bytes off the segment.
+	entries, err := os.ReadDir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".log") {
+			seg = filepath.Join(walDir, e.Name())
+		}
+	}
+	stat, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, stat.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := New()
+	st, err := eng2.OpenWAL(walCfg(walDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 1 || !st.Truncated {
+		t.Fatalf("torn-tail replay stats %+v", st)
+	}
+	rel, ok := eng2.DB.Relation("Edge")
+	if !ok || rel.Cardinality() != 1 {
+		t.Fatalf("recovered relation: ok=%v card=%d", ok, rel.Cardinality())
+	}
+}
+
+// TestWALReplayArityConflictDoesNotBrickBoot: records whose shape
+// conflicts (an unjournaled load replaced the relation mid-log) are
+// dropped in favor of later records / the restored catalog instead of
+// failing startup.
+func TestWALReplayArityConflictDoesNotBrickBoot(t *testing.T) {
+	walDir := t.TempDir()
+	eng := New()
+	if _, err := eng.OpenWAL(walCfg(walDir)); err != nil {
+		t.Fatal(err)
+	}
+	// Arity-2 records, then an unjournaled load changes R to arity 3,
+	// then arity-3 records.
+	if _, err := eng.Update(UpdateBatch{Rel: "R", InsCols: [][]uint32{{1}, {2}}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.AddRelationColumns("R", [][]uint32{{7}, {8}, {9}}, nil, semiring.None)
+	if _, err := eng.Update(UpdateBatch{Rel: "R", InsCols: [][]uint32{{4}, {5}, {6}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash; fresh boot with no snapshot: the log holds both shapes.
+	eng2 := New()
+	st, err := eng2.OpenWAL(walCfg(walDir))
+	if err != nil {
+		t.Fatalf("boot bricked by arity-conflicting WAL: %v", err)
+	}
+	if st.Records != 2 {
+		t.Fatalf("replay stats %+v", st)
+	}
+	rel, ok := eng2.DB.Relation("R")
+	if !ok || rel.Arity != 3 || rel.Cardinality() != 1 {
+		t.Fatalf("later-shape records should win: ok=%v arity=%d card=%d", ok, rel.Arity, rel.Cardinality())
+	}
+
+	// And a restored catalog that conflicts with ALL records: replay
+	// skips the relation, reports it, and the boot succeeds.
+	eng3 := New()
+	eng3.AddRelationColumns("R", [][]uint32{{1, 2}, {1, 2}, {1, 2}, {1, 2}}, nil, semiring.None) // arity 4
+	st3, err := eng3.OpenWAL(walCfg(walDir))
+	if err != nil {
+		t.Fatalf("boot bricked by catalog-conflicting WAL: %v", err)
+	}
+	if st3.SkippedRelations != 1 {
+		t.Fatalf("expected 1 skipped relation, got %+v", st3)
+	}
+	rel3, _ := eng3.DB.Relation("R")
+	if rel3.Arity != 4 || rel3.Cardinality() != 2 {
+		t.Fatalf("existing relation should win: arity=%d card=%d", rel3.Arity, rel3.Cardinality())
+	}
+}
+
+// TestIncrementalSnapshot: re-snapshotting after updating one relation
+// rewrites only that relation's segment; untouched segments are reused
+// byte-identically (same file, same mtime) and the result restores to
+// the same state.
+func TestIncrementalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	eng := New()
+	eng.AddRelationColumns("Hot", toCols([][2]uint32{{1, 2}, {2, 3}}), nil, semiring.None)
+	eng.AddRelationColumns("Cold", toCols([][2]uint32{{7, 8}, {8, 9}}), nil, semiring.None)
+	if _, err := eng.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	segTimes := func() map[string]time.Time {
+		out := map[string]time.Time{}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".seg") {
+				info, err := e.Info()
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[e.Name()] = info.ModTime()
+			}
+		}
+		return out
+	}
+	before := segTimes()
+
+	// Let mtime resolution tick, then update only Hot.
+	time.Sleep(10 * time.Millisecond)
+	if _, err := eng.Update(UpdateBatch{Rel: "Hot", InsCols: toCols([][2]uint32{{5, 5}})}); err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := eng.Snapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := segTimes()
+
+	var coldSeg, hotSeg string
+	for _, rm := range cat2.Relations {
+		switch rm.Name {
+		case "Cold":
+			coldSeg = rm.Segment
+		case "Hot":
+			hotSeg = rm.Segment
+		}
+	}
+	if coldSeg == "" || hotSeg == "" {
+		t.Fatalf("catalog missing relations: %+v", cat2.Relations)
+	}
+	bt, ok := before[coldSeg]
+	if !ok {
+		t.Fatalf("cold segment %s not reused from the first snapshot", coldSeg)
+	}
+	if !after[coldSeg].Equal(bt) {
+		t.Fatalf("cold segment %s was rewritten (mtime %v → %v)", coldSeg, bt, after[coldSeg])
+	}
+	if _, existed := before[hotSeg]; existed {
+		t.Fatalf("hot segment %s should be a fresh file", hotSeg)
+	}
+
+	// The incremental snapshot restores to the live state.
+	want := queryKey(t, eng, `L(x,y) :- Hot(x,y).`) + queryKey(t, eng, `M(x,y) :- Cold(x,y).`)
+	eng2 := New()
+	if _, err := eng2.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	got := queryKey(t, eng2, `L(x,y) :- Hot(x,y).`) + queryKey(t, eng2, `M(x,y) :- Cold(x,y).`)
+	if got != want {
+		t.Fatalf("incremental snapshot restore diverges:\n got %s\nwant %s", got, want)
+	}
+
+	// Restore-then-snapshot also reuses: the engine adopted the catalog.
+	time.Sleep(10 * time.Millisecond)
+	if _, err := eng2.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	final := segTimes()
+	for name, mt := range after {
+		if ft, ok := final[name]; !ok || !ft.Equal(mt) {
+			t.Fatalf("segment %s rewritten by idempotent re-snapshot", name)
+		}
+	}
+}
+
+// TestSnapshotTruncatesOnlyPairedDir: ad-hoc snapshots to a side
+// directory must not truncate the WAL paired with the primary one.
+func TestSnapshotTruncatesOnlyPairedDir(t *testing.T) {
+	primary := t.TempDir()
+	side := t.TempDir()
+	walDir := t.TempDir()
+	eng := New()
+	if _, err := eng.OpenWAL(WALConfig{Dir: walDir, Sync: wal.SyncAlways, SnapshotDir: primary}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Update(UpdateBatch{Rel: "Edge", InsCols: toCols([][2]uint32{{1, 2}})}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Snapshot(side); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh engine, no restore: WAL alone must still hold the update.
+	eng2 := New()
+	st, err := eng2.OpenWAL(walCfg(walDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 1 {
+		t.Fatalf("side snapshot truncated the WAL: %+v", st)
+	}
+
+	// Snapshot to the paired dir truncates.
+	eng3 := New()
+	if _, err := eng3.OpenWAL(WALConfig{Dir: t.TempDir(), Sync: wal.SyncAlways, SnapshotDir: primary}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng3.Update(UpdateBatch{Rel: "Edge", InsCols: toCols([][2]uint32{{5, 6}})}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := eng3.upd.walCfg
+	if _, err := eng3.Snapshot(primary); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng3.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	eng4 := New()
+	st4, err := eng4.OpenWAL(walCfg(cfg.Dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st4.Records != 0 {
+		t.Fatalf("paired snapshot did not truncate the WAL: %+v", st4)
+	}
+}

@@ -36,11 +36,32 @@ type Engine struct {
 	// mmap'd segments alive for the tries that alias them (see
 	// Engine.Restore for the lifecycle discussion).
 	restored []*storage.Database
+	// lastSnaps remembers, per snapshot directory, the catalog this
+	// engine last wrote to (or restored from) it; Snapshot passes it to
+	// storage.WriteIncremental so relations whose epoch hasn't advanced
+	// reuse their existing checksummed segments. Guarded by mu. The
+	// epochs are only comparable because they come from this engine's
+	// own lifetime — never seed the map from a foreign catalog.
+	lastSnaps map[string]*storage.Catalog
+	// upd owns the streaming-update subsystem: the WAL handle, the
+	// per-relation base+overlay state, and compaction configuration
+	// (see update.go). upd.mu serializes every update — the WAL append
+	// order is the apply order, which is what makes replay
+	// deterministic.
+	upd updState
 }
 
 // New returns an engine with the full optimizer enabled.
 func New() *Engine {
-	return &Engine{DB: exec.NewDB(), graphs: map[string]*graph.Graph{}}
+	e := &Engine{
+		DB:        exec.NewDB(),
+		graphs:    map[string]*graph.Graph{},
+		lastSnaps: map[string]*storage.Catalog{},
+	}
+	e.upd.deltas = map[string]*relDelta{}
+	e.upd.compactRatio = DefaultCompactRatio
+	e.upd.compactMin = DefaultCompactMin
+	return e
 }
 
 // NewWithOptions returns an engine with explicit execution options

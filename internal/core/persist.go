@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"emptyheaded/internal/graph"
 	"emptyheaded/internal/storage"
@@ -12,8 +13,39 @@ import (
 // checksummed binary snapshot (see internal/storage). The state is
 // captured through one Fork, so a snapshot taken under concurrent loads
 // is a consistent point-in-time image. Returns the written catalog.
+//
+// Snapshots are incremental: the engine remembers the catalog it last
+// wrote to (or restored from) each directory, and relations whose
+// epoch hasn't advanced since reuse their existing checksummed
+// segments instead of re-serializing — an update-heavy workload only
+// rewrites the relations that actually changed.
+//
+// With a WAL open, the snapshot is also the log's truncation point:
+// the log rotates inside the update mutex (so the sealed segments hold
+// exactly the records the fork absorbed), and once the snapshot
+// commits, the sealed segments are deleted. If the snapshot fails the
+// segments survive, and replay-on-boot remains correct because update
+// replay is idempotent across a snapshot boundary.
 func (e *Engine) Snapshot(dir string) (*storage.Catalog, error) {
+	// Fork and rotate under the update mutex: no update can land between
+	// the two, so "records at or below the sealed generation" and
+	// "updates visible in the fork" are the same set.
+	e.upd.mu.Lock()
+	var sealed uint64
+	truncate := false
+	if e.upd.wal != nil {
+		g, err := e.upd.wal.Rotate()
+		if err != nil {
+			e.upd.mu.Unlock()
+			return nil, fmt.Errorf("snapshot %s: wal rotate: %w", dir, err)
+		}
+		sealed = g
+		truncate = e.walSnapshotDirMatches(dir)
+	}
 	fork := e.DB.Fork()
+	walHandle := e.upd.wal
+	e.upd.mu.Unlock()
+
 	snap := &storage.Snapshot{
 		Dict:      fork.Dict(),
 		DictEpoch: fork.DictEpoch(),
@@ -29,7 +61,31 @@ func (e *Engine) Snapshot(dir string) (*storage.Catalog, error) {
 			Epoch: fork.EpochOf(name),
 		})
 	}
-	return storage.Write(dir, snap)
+	key := snapKey(dir)
+	e.mu.RLock()
+	prev := e.lastSnaps[key]
+	e.mu.RUnlock()
+	cat, err := storage.WriteIncremental(dir, snap, prev)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.lastSnaps[key] = cat
+	e.mu.Unlock()
+	if walHandle != nil && truncate {
+		// Best effort: a survived segment replays idempotently.
+		_ = walHandle.TruncateThrough(sealed)
+	}
+	return cat, nil
+}
+
+// snapKey canonicalizes a snapshot directory for the incremental
+// catalog map.
+func snapKey(dir string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		return abs
+	}
+	return filepath.Clean(dir)
 }
 
 // Restore replaces the engine's database with the snapshot in dir. The
@@ -42,7 +98,9 @@ func (e *Engine) Snapshot(dir string) (*storage.Catalog, error) {
 // epoch-keyed caches must flush them around a restore (the query service
 // advances a generation counter). Graphs registered through LoadGraph
 // are engine-side conveniences (benchmark harness); they do not survive
-// a restore — the relations themselves do.
+// a restore — the relations themselves do. Streaming-update overlays
+// reset: the restored state replaces any pending overlay wholesale, and
+// an open WAL is NOT re-replayed (replay happens once, at OpenWAL).
 //
 // Each restore retains its storage handle on the engine: the mappings
 // cannot be unmapped while any fork, cached result, or in-flight query
@@ -56,10 +114,33 @@ func (e *Engine) Restore(dir string) (*storage.Catalog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("restore %s: %w", dir, err)
 	}
+	// Install and reset overlay state under the update mutex, so no
+	// update interleaves between the new database appearing and the old
+	// overlays vanishing. An open WAL rotates and drops its sealed
+	// segments: the restore just discarded every pre-restore update, so
+	// replaying those records on the next boot would resurrect state
+	// clients observed as rolled back. (To re-anchor the recovery chain
+	// fully, follow a runtime restore with a snapshot to the WAL's
+	// paired directory — eh-server's SIGTERM path does.)
+	e.upd.mu.Lock()
 	e.DB.InstallSnapshot(db.Tries, db.Epochs, db.Dict, db.Catalog.DictEpoch)
+	e.upd.deltas = map[string]*relDelta{}
+	var sealed uint64
+	walHandle := e.upd.wal
+	if walHandle != nil {
+		if sealed, err = walHandle.Rotate(); err != nil {
+			e.upd.mu.Unlock()
+			return nil, fmt.Errorf("restore %s: wal rotate: %w", dir, err)
+		}
+	}
+	e.upd.mu.Unlock()
+	if walHandle != nil {
+		_ = walHandle.TruncateThrough(sealed)
+	}
 	e.mu.Lock()
 	e.graphs = map[string]*graph.Graph{}
 	e.restored = append(e.restored, db)
+	e.lastSnaps[snapKey(dir)] = db.Catalog
 	e.mu.Unlock()
 	return db.Catalog, nil
 }

@@ -1,0 +1,739 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emptyheaded/internal/delta"
+	"emptyheaded/internal/exec"
+	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/trie"
+	"emptyheaded/internal/wal"
+)
+
+// Streaming updates (update.go) turn the engine from a load-then-query
+// accelerator into a serving system: Update applies per-relation
+// insert/delete batches through delta-trie overlays (internal/delta),
+// optionally journaled in a write-ahead log (internal/wal) that replays
+// on boot on top of the latest snapshot, with a background compactor
+// folding grown overlays into fresh base tries.
+//
+// Ordering and determinism: upd.mu serializes updates, so the WAL
+// sequence order IS the in-memory apply order — of all admissible
+// interleavings of concurrent updates, the log pins down exactly one,
+// and replay re-executes it deterministically. Because overlay state is
+// a function "last action per tuple wins", replay is also idempotent
+// across a snapshot boundary: re-applying records the snapshot already
+// absorbed converges to the same state.
+
+// ErrDurability marks update failures on the durability path (the WAL
+// append, not the request): the batch was NOT acknowledged and NOT
+// applied, and retrying may succeed once the underlying condition
+// (disk full, I/O error) clears. Servers should surface these as 5xx,
+// not client errors.
+var ErrDurability = errors.New("core: durable append failed")
+
+const (
+	// DefaultCompactRatio is the overlay/base row ratio past which the
+	// background compactor folds the overlay into a fresh base.
+	DefaultCompactRatio = 0.10
+	// DefaultCompactMin is the minimum overlay row count before
+	// compaction is considered at all (tiny overlays are cheaper to
+	// merge through than to compact).
+	DefaultCompactMin = 1024
+)
+
+// updState is the engine's streaming-update state; mu serializes every
+// update, WAL append, replay, compaction install, and restore.
+type updState struct {
+	mu     sync.Mutex
+	wal    *wal.Log
+	walCfg WALConfig
+	deltas map[string]*relDelta
+
+	compactRatio float64
+	compactMin   int
+	// compactWG tracks in-flight background compactions so Close (and
+	// tests) can wait for them.
+	compactWG sync.WaitGroup
+
+	replay ReplayStats
+
+	updates     atomic.Uint64
+	updateRows  atomic.Uint64
+	compactions atomic.Uint64
+	compactNS   atomic.Uint64
+}
+
+// relDelta is one relation's streaming-update state: the compacted base
+// (wrapped in a standalone relation so permuted base indexes are built
+// once and shared across overlay installs), the current overlay, and
+// the merged view last installed into the DB (pointer identity detects
+// external replacement by /load or /restore).
+type relDelta struct {
+	baseRel *exec.Relation
+	// baseCard caches the base's cardinality (the base is immutable);
+	// compaction thresholds and /stats read it without a trie walk.
+	baseCard   int
+	ov         *delta.Overlay
+	installed  *trie.Trie
+	version    uint64
+	compacting bool
+}
+
+// UpdateBatch is one streaming update: columnar inserts (optionally
+// annotated) and full-tuple deletes against one relation. Deletes apply
+// before inserts. The engine takes ownership of the column slices.
+type UpdateBatch struct {
+	// Rel names the target relation. A batch whose relation doesn't
+	// exist creates it (arity from the columns, semiring from Op).
+	Rel string
+	// InsCols holds inserted tuples column-wise; InsAnns their
+	// annotations (required exactly when the relation is annotated).
+	InsCols [][]uint32
+	InsAnns []float64
+	// DelCols holds deleted tuples column-wise (full-tuple tombstones;
+	// deleting an absent tuple is a no-op).
+	DelCols [][]uint32
+	// Op is the semiring for a newly created annotated relation;
+	// ignored when the relation exists.
+	Op semiring.Op
+}
+
+// UpdateResult reports one applied batch.
+type UpdateResult struct {
+	Rel string `json:"name"`
+	// Seq is the WAL sequence number (0 when no WAL is configured).
+	Seq uint64 `json:"seq,omitempty"`
+	// Inserted / Deleted are the batch's row counts as submitted.
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	// Cardinality is the relation's tuple count after the batch.
+	Cardinality int `json:"cardinality"`
+	// OverlayRows is the live overlay size after the batch (inserts +
+	// tombstones not yet compacted into the base).
+	OverlayRows int `json:"overlay_rows"`
+}
+
+// Update validates, journals (when a WAL is open) and applies one
+// update batch. The batch is acknowledged only after it is durable
+// under the configured fsync policy and visible to new queries.
+// Concurrent updates serialize; queries never block on updates (they
+// run on forks of immutable tries).
+func (e *Engine) Update(b UpdateBatch) (UpdateResult, error) {
+	e.upd.mu.Lock()
+	defer e.upd.mu.Unlock()
+	rec, err := e.recordForLocked(&b)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	if e.upd.wal != nil {
+		if _, err := e.upd.wal.Append(rec); err != nil {
+			return UpdateResult{}, fmt.Errorf("%w: %w", ErrDurability, err)
+		}
+	}
+	res, err := e.applyRecordLocked(rec)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	e.maybeCompactLocked(b.Rel)
+	return res, nil
+}
+
+// recordForLocked validates a batch against the live catalog and shapes
+// it as a WAL record.
+func (e *Engine) recordForLocked(b *UpdateBatch) (*wal.Record, error) {
+	if b.Rel == "" {
+		return nil, fmt.Errorf("core: update without relation name")
+	}
+	arity := len(b.InsCols)
+	if arity == 0 {
+		arity = len(b.DelCols)
+	}
+	if arity == 0 {
+		return nil, fmt.Errorf("core: update %s: no insert or delete columns", b.Rel)
+	}
+	if len(b.InsCols) != 0 && len(b.DelCols) != 0 && len(b.InsCols) != len(b.DelCols) {
+		return nil, fmt.Errorf("core: update %s: insert arity %d, delete arity %d", b.Rel, len(b.InsCols), len(b.DelCols))
+	}
+	op := b.Op
+	annotated := b.InsAnns != nil
+	if rel, ok := e.DB.Relation(b.Rel); ok {
+		if rel.Arity != arity {
+			return nil, fmt.Errorf("core: update %s: batch arity %d, relation arity %d", b.Rel, arity, rel.Arity)
+		}
+		if rel.Arity == 0 {
+			return nil, fmt.Errorf("core: update %s: scalar relations are not updatable", b.Rel)
+		}
+		op = rel.Op
+		if rel.Annotated && b.InsAnns == nil && insRows(b.InsCols) > 0 {
+			// Un-annotated inserts into an annotated relation default to
+			// the ⊗-identity, matching the loader's convention.
+			b.InsAnns = fillOnes(op, insRows(b.InsCols))
+		}
+		if !rel.Annotated && b.InsAnns != nil {
+			return nil, fmt.Errorf("core: update %s: annotations for un-annotated relation", b.Rel)
+		}
+		annotated = rel.Annotated
+	} else if annotated && op == semiring.None {
+		return nil, fmt.Errorf("core: update %s: annotated batch for a new relation needs an op", b.Rel)
+	}
+	rec := &wal.Record{
+		Rel:     b.Rel,
+		Arity:   arity,
+		Op:      op,
+		InsCols: b.InsCols,
+		DelCols: b.DelCols,
+	}
+	if annotated {
+		if rec.InsAnns = b.InsAnns; rec.InsAnns == nil {
+			rec.InsAnns = []float64{}
+		}
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, fmt.Errorf("core: update %s: %w", b.Rel, err)
+	}
+	return rec, nil
+}
+
+func insRows(cols [][]uint32) int {
+	if len(cols) == 0 {
+		return 0
+	}
+	return len(cols[0])
+}
+
+// RowsToColumns transposes row-major tuples into the column-major shape
+// UpdateBatch takes, validating that every row shares one arity. The
+// server's /update handler and the library facade both feed through it.
+func RowsToColumns(rows [][]uint32) ([][]uint32, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("core: empty update batch")
+	}
+	arity := len(rows[0])
+	cols := make([][]uint32, arity)
+	for c := range cols {
+		cols[c] = make([]uint32, len(rows))
+	}
+	for i, row := range rows {
+		if len(row) != arity {
+			return nil, fmt.Errorf("core: tuple %v does not match arity %d", row, arity)
+		}
+		for c, v := range row {
+			cols[c][i] = v
+		}
+	}
+	return cols, nil
+}
+
+func fillOnes(op semiring.Op, n int) []float64 {
+	out := make([]float64, n)
+	one := op.One()
+	for i := range out {
+		out[i] = one
+	}
+	return out
+}
+
+// deltaForLocked resolves (or creates) the relation's overlay state. A
+// relation replaced behind our back (by /load or /restore) resets the
+// overlay: the replacement legitimately discarded the merged view.
+func (e *Engine) deltaForLocked(rec *wal.Record) (*relDelta, error) {
+	cur, exists := e.DB.Relation(rec.Rel)
+	rd := e.upd.deltas[rec.Rel]
+	if rd != nil && (!exists || cur.Canonical() != rd.installed) {
+		rd = nil
+	}
+	if rd != nil {
+		return rd, nil
+	}
+	var base *trie.Trie
+	if exists {
+		if cur.Arity != rec.Arity {
+			return nil, fmt.Errorf("core: update %s: record arity %d, relation arity %d", rec.Rel, rec.Arity, cur.Arity)
+		}
+		base = cur.Canonical()
+	} else {
+		base = trie.NewEmpty(rec.Arity, rec.Annotated(), rec.Op)
+	}
+	rd = &relDelta{
+		baseRel:   exec.NewRelation(rec.Rel, base),
+		baseCard:  base.Cardinality(),
+		ov:        delta.NewOverlay(rec.Arity, base.Annotated, base.Op),
+		installed: base,
+	}
+	e.upd.deltas[rec.Rel] = rd
+	return rd, nil
+}
+
+// applyRecordLocked folds one record into the relation's overlay and
+// installs the merged view. The only failure mode is a shape conflict
+// with a relation that was concurrently replaced under a different
+// arity (recordForLocked validated against the catalog as of entry).
+func (e *Engine) applyRecordLocked(rec *wal.Record) (UpdateResult, error) {
+	rd, err := e.deltaForLocked(rec)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	insT, delT := miniTries(rec, rd.baseRel, e.Opts.Layout)
+	rd.ov = rd.ov.Apply(insT, delT, e.Opts.Layout)
+	merged := delta.MergedView(rd.baseRel.Canonical(), rd.ov.Ins, rd.ov.Del, e.Opts.Layout)
+	e.DB.AddTrieOverlay(rec.Rel, merged, rd.baseRel, rd.ov.Ins, rd.ov.Del)
+	rd.installed = merged
+	rd.version++
+	e.upd.updates.Add(1)
+	e.upd.updateRows.Add(uint64(rec.InsRows() + rec.DelRows()))
+	return UpdateResult{
+		Rel:         rec.Rel,
+		Seq:         rec.Seq,
+		Inserted:    rec.InsRows(),
+		Deleted:     rec.DelRows(),
+		Cardinality: merged.Cardinality(),
+		OverlayRows: rd.ov.Rows(),
+	}, nil
+}
+
+// miniTries builds the batch's insert and tombstone mini-tries (nil
+// when the respective side is empty). The record's column slices are
+// consumed.
+func miniTries(rec *wal.Record, baseRel *exec.Relation, layout trie.LayoutFunc) (insT, delT *trie.Trie) {
+	if rec.InsRows() > 0 {
+		var anns []float64
+		if baseRel.Annotated {
+			anns = rec.InsAnns
+		}
+		insT = trie.FromColumns(rec.InsCols, anns, baseRel.Op, layout)
+	}
+	if rec.DelRows() > 0 {
+		delT = trie.FromColumns(rec.DelCols, nil, semiring.None, layout)
+	}
+	return insT, delT
+}
+
+// SetAutoCompact tunes the background compactor: the overlay/base row
+// ratio that triggers compaction and the minimum overlay row count.
+// ratio <= 0 disables automatic compaction (Compact still works).
+func (e *Engine) SetAutoCompact(ratio float64, minRows int) {
+	e.upd.mu.Lock()
+	e.upd.compactRatio = ratio
+	if minRows > 0 {
+		e.upd.compactMin = minRows
+	}
+	e.upd.mu.Unlock()
+}
+
+// maybeCompactLocked spawns a background compaction when the overlay
+// outgrew the configured ratio of the base.
+func (e *Engine) maybeCompactLocked(name string) {
+	rd := e.upd.deltas[name]
+	if rd == nil || rd.compacting || e.upd.compactRatio <= 0 {
+		return
+	}
+	rows := rd.ov.Rows()
+	if rows < e.upd.compactMin {
+		return
+	}
+	if float64(rows) < e.upd.compactRatio*float64(rd.baseCard) {
+		return
+	}
+	e.upd.compactWG.Add(1)
+	go func() {
+		defer e.upd.compactWG.Done()
+		_, _ = e.Compact(name)
+	}()
+}
+
+// Compact folds the relation's overlay into a fresh compacted base and
+// installs it. The heavy rebuild runs outside the update mutex, so
+// updates keep flowing; if any landed meanwhile, the (idempotent)
+// overlay is re-folded onto the new base and stays live until the next
+// compaction. Returns false when there was nothing to compact (or a
+// compaction was already in flight).
+func (e *Engine) Compact(name string) (bool, error) {
+	e.upd.mu.Lock()
+	rd := e.upd.deltas[name]
+	if rd == nil || rd.compacting || rd.ov.IsEmpty() {
+		e.upd.mu.Unlock()
+		return false, nil
+	}
+	if cur, ok := e.DB.Relation(name); !ok || cur.Canonical() != rd.installed {
+		delete(e.upd.deltas, name) // replaced externally; stale state
+		e.upd.mu.Unlock()
+		return false, nil
+	}
+	view := rd.installed
+	ver := rd.version
+	rd.compacting = true
+	e.upd.mu.Unlock()
+
+	t0 := time.Now()
+	compacted := delta.Compact(view, e.Opts.Layout)
+
+	e.upd.mu.Lock()
+	defer e.upd.mu.Unlock()
+	rd.compacting = false
+	cur, ok := e.DB.Relation(name)
+	if !ok || cur.Canonical() != rd.installed {
+		// Replaced externally while compacting: the merged view (and our
+		// whole overlay state) is obsolete; drop the work. Only remove
+		// the map entry if it is still ours — a restore may already have
+		// installed fresh state under this name.
+		if e.upd.deltas[name] == rd {
+			delete(e.upd.deltas, name)
+		}
+		return false, nil
+	}
+	// Both install shapes carry exactly the current logical content (the
+	// raced branch by overlay-fold idempotence), so they go through
+	// SwapTrie: no epoch bump, and every epoch-keyed cached result over
+	// the relation stays valid — compaction is invisible to clients.
+	old := rd.installed
+	baseRel := exec.NewRelation(name, compacted)
+	if rd.version == ver {
+		// No updates landed during the rebuild: the compacted trie IS
+		// the current state; overlay resets to empty.
+		if !e.DB.SwapTrie(name, old, compacted, nil, nil, nil) {
+			if e.upd.deltas[name] == rd {
+				delete(e.upd.deltas, name)
+			}
+			return false, nil
+		}
+		rd.baseRel = baseRel
+		rd.baseCard = compacted.Cardinality()
+		rd.ov = delta.NewOverlay(compacted.Arity, compacted.Annotated, compacted.Op)
+		rd.installed = compacted
+	} else {
+		// Updates landed: adopt the compacted trie as the new base,
+		// trim the overlay down to the post-capture net-new changes
+		// (entries the compaction already absorbed drop out — without
+		// the trim, sustained writes overlapping every compaction
+		// window would grow the overlay without bound), and re-fold.
+		ov := rd.ov.TrimAgainst(compacted, e.Opts.Layout)
+		merged := delta.MergedView(compacted, ov.Ins, ov.Del, e.Opts.Layout)
+		if !e.DB.SwapTrie(name, old, merged, baseRel, ov.Ins, ov.Del) {
+			if e.upd.deltas[name] == rd {
+				delete(e.upd.deltas, name)
+			}
+			return false, nil
+		}
+		rd.baseRel = baseRel
+		rd.baseCard = compacted.Cardinality()
+		rd.ov = ov
+		rd.installed = merged
+	}
+	e.upd.compactions.Add(1)
+	e.upd.compactNS.Add(uint64(time.Since(t0)))
+	return true, nil
+}
+
+// WaitCompactions blocks until in-flight background compactions finish
+// (shutdown and test hook).
+func (e *Engine) WaitCompactions() { e.upd.compactWG.Wait() }
+
+// WALConfig configures the engine's write-ahead log.
+type WALConfig struct {
+	// Dir is the WAL segment directory.
+	Dir string
+	// Sync is the fsync policy (always / interval / off).
+	Sync wal.SyncPolicy
+	// SyncInterval paces interval fsyncs (default 50ms).
+	SyncInterval time.Duration
+	// SnapshotDir pairs the WAL with one snapshot directory: only a
+	// successful snapshot to it truncates replayed segments. Empty
+	// means snapshots never truncate — without a paired directory there
+	// is no guarantee the next boot restores the state that absorbed
+	// the records, so they are conservatively kept (replay is
+	// idempotent; segments can be removed manually once snapshotted).
+	SnapshotDir string
+}
+
+// ReplayStats reports what OpenWAL recovered on boot.
+type ReplayStats struct {
+	Segments  int   `json:"segments"`
+	Records   int   `json:"records"`
+	Rows      int64 `json:"rows"`
+	Bytes     int64 `json:"bytes"`
+	Truncated bool  `json:"truncated,omitempty"`
+	// DurationUS is the wall time of the scan+apply, microseconds.
+	DurationUS int64 `json:"duration_us"`
+	// Relations is the number of distinct relations the replay touched.
+	Relations int `json:"relations,omitempty"`
+	// SkippedRelations counts relations whose accumulated records could
+	// not apply (arity conflict with the restored catalog — e.g. an
+	// unjournaled load replaced the relation mid-log). Their records
+	// are dropped rather than failing the boot; the restored snapshot
+	// wins.
+	SkippedRelations int `json:"skipped_relations,omitempty"`
+}
+
+// OpenWAL opens (creating if needed) the write-ahead log and replays
+// its records on top of the engine's current state — call it on boot
+// after Restore. Records accumulate per relation during the scan and
+// install once at the end (one merged view per relation, not one per
+// record), so replaying 100k single-row updates costs one overlay
+// fold, not 100k. After OpenWAL returns, every Update appends to the
+// log before applying.
+func (e *Engine) OpenWAL(cfg WALConfig) (ReplayStats, error) {
+	e.upd.mu.Lock()
+	defer e.upd.mu.Unlock()
+	if e.upd.wal != nil {
+		return ReplayStats{}, fmt.Errorf("core: WAL already open")
+	}
+	acc := newReplayAcc()
+	l, info, err := wal.Open(wal.Options{Dir: cfg.Dir, Sync: cfg.Sync, SyncInterval: cfg.SyncInterval},
+		func(rec *wal.Record) error { return acc.add(rec, e) })
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	skipped, err := acc.installLocked(e)
+	if err != nil {
+		l.Close()
+		return ReplayStats{}, err
+	}
+	e.upd.wal = l
+	e.upd.walCfg = cfg
+	st := ReplayStats{
+		Segments:         info.Segments,
+		Records:          info.Records,
+		Rows:             info.Rows,
+		Bytes:            info.Bytes,
+		Truncated:        info.Truncated,
+		DurationUS:       info.Duration.Microseconds(),
+		Relations:        len(acc.rels),
+		SkippedRelations: skipped,
+	}
+	e.upd.replay = st
+	for name := range acc.rels {
+		e.maybeCompactLocked(name)
+	}
+	return st, nil
+}
+
+// CloseWAL fsyncs and closes the log (further updates apply in memory
+// only). It waits for in-flight compactions first.
+func (e *Engine) CloseWAL() error {
+	e.upd.compactWG.Wait()
+	e.upd.mu.Lock()
+	defer e.upd.mu.Unlock()
+	if e.upd.wal == nil {
+		return nil
+	}
+	err := e.upd.wal.Close()
+	e.upd.wal = nil
+	return err
+}
+
+// replayAcc folds WAL records into per-relation "last action per tuple"
+// state, the exact semantics of sequential overlay application, so the
+// final install is one batch per relation.
+type replayAcc struct {
+	rels map[string]*replayRel
+}
+
+type replayRel struct {
+	arity     int
+	op        semiring.Op
+	annotated bool
+	last      map[string]replayTuple
+}
+
+type replayTuple struct {
+	row []uint32
+	ins bool
+	ann float64
+}
+
+func newReplayAcc() *replayAcc { return &replayAcc{rels: map[string]*replayRel{}} }
+
+func (a *replayAcc) add(rec *wal.Record, e *Engine) error {
+	rr := a.rels[rec.Rel]
+	if rr != nil && rr.arity != rec.Arity {
+		// The relation changed shape mid-log (an unjournaled load
+		// replaced it between journaled updates). Later records win, the
+		// way the live apply path resets the overlay on external
+		// replacement: restart the accumulator at the new shape.
+		rr = nil
+	}
+	if rr == nil {
+		annotated := rec.Annotated()
+		op := rec.Op
+		if rel, ok := e.DB.Relation(rec.Rel); ok && rel.Arity == rec.Arity {
+			annotated = rel.Annotated
+			op = rel.Op
+		}
+		rr = &replayRel{arity: rec.Arity, op: op, annotated: annotated, last: map[string]replayTuple{}}
+		a.rels[rec.Rel] = rr
+	}
+	// Deletes first, then inserts (batch semantics). Inserts go through
+	// the same mini-trie build as the live path so duplicate tuples
+	// within one record ⊕-combine identically.
+	row := make([]uint32, rec.Arity)
+	for i := 0; i < rec.DelRows(); i++ {
+		for c := range row {
+			row[c] = rec.DelCols[c][i]
+		}
+		rr.last[string(packRow(row))] = replayTuple{ins: false}
+	}
+	if rec.InsRows() > 0 {
+		var anns []float64
+		if rr.annotated {
+			anns = rec.InsAnns
+			if len(anns) != rec.InsRows() {
+				anns = fillOnes(rr.op, rec.InsRows())
+			}
+		}
+		mini := trie.FromColumns(rec.InsCols, anns, rr.op, nil)
+		mini.ForEachTuple(func(tp []uint32, ann float64) {
+			rr.last[string(packRow(tp))] = replayTuple{row: append([]uint32(nil), tp...), ins: true, ann: ann}
+		})
+	}
+	return nil
+}
+
+func packRow(row []uint32) []byte {
+	out := make([]byte, 4*len(row))
+	for i, v := range row {
+		out[4*i] = byte(v)
+		out[4*i+1] = byte(v >> 8)
+		out[4*i+2] = byte(v >> 16)
+		out[4*i+3] = byte(v >> 24)
+	}
+	return out
+}
+
+func unpackRow(key string, arity int) []uint32 {
+	row := make([]uint32, arity)
+	for i := range row {
+		row[i] = uint32(key[4*i]) | uint32(key[4*i+1])<<8 | uint32(key[4*i+2])<<16 | uint32(key[4*i+3])<<24
+	}
+	return row
+}
+
+// installLocked folds each accumulated relation's net effect as one
+// overlay apply + merged-view install. Relations whose records cannot
+// apply (arity conflict with the restored catalog) are skipped and
+// counted rather than failing the boot — availability beats replaying
+// records the snapshot has already superseded.
+func (a *replayAcc) installLocked(e *Engine) (skipped int, err error) {
+	for name, rr := range a.rels {
+		insCols := make([][]uint32, rr.arity)
+		delCols := make([][]uint32, rr.arity)
+		var insAnns []float64
+		for key, tp := range rr.last {
+			if tp.ins {
+				for c, v := range tp.row {
+					insCols[c] = append(insCols[c], v)
+				}
+				if rr.annotated {
+					insAnns = append(insAnns, tp.ann)
+				}
+			} else {
+				row := unpackRow(key, rr.arity)
+				for c, v := range row {
+					delCols[c] = append(delCols[c], v)
+				}
+			}
+		}
+		rec := &wal.Record{Rel: name, Arity: rr.arity, Op: rr.op}
+		if insRows(insCols) > 0 {
+			rec.InsCols = insCols
+			if rr.annotated {
+				rec.InsAnns = insAnns
+			}
+		}
+		if insRows(delCols) > 0 {
+			rec.DelCols = delCols
+		}
+		if rec.InsRows() == 0 && rec.DelRows() == 0 {
+			continue
+		}
+		if rr.annotated && rec.InsAnns == nil {
+			rec.InsAnns = []float64{}
+		}
+		if _, err := e.applyRecordLocked(rec); err != nil {
+			skipped++
+			continue
+		}
+	}
+	return skipped, nil
+}
+
+// OverlayStat describes one relation's live overlay for metrics.
+type OverlayStat struct {
+	Relation string `json:"relation"`
+	// Rows is the overlay size (pending inserts + tombstones).
+	Rows int `json:"rows"`
+	// BaseRows is the compacted base's cardinality.
+	BaseRows int `json:"base_rows"`
+	// Compacting reports an in-flight background compaction.
+	Compacting bool `json:"compacting,omitempty"`
+}
+
+// DurabilityStats is the streaming-update subsystem's metrics document.
+type DurabilityStats struct {
+	WAL      wal.Stats     `json:"wal"`
+	Replay   ReplayStats   `json:"replay"`
+	Overlays []OverlayStat `json:"overlays,omitempty"`
+	// Updates / UpdateRows count applied batches and their rows.
+	Updates    uint64 `json:"updates"`
+	UpdateRows uint64 `json:"update_rows"`
+	// Compactions counts finished compactions; CompactTotalUS their
+	// total wall time.
+	Compactions    uint64 `json:"compactions"`
+	CompactTotalUS int64  `json:"compact_total_us"`
+}
+
+// Durability returns a point-in-time snapshot of the streaming-update
+// subsystem's counters. The WAL's own stats (which stat the segment
+// directory) are read after the update mutex is released, so a metrics
+// scrape never blocks updates on filesystem I/O.
+func (e *Engine) Durability() DurabilityStats {
+	e.upd.mu.Lock()
+	st := DurabilityStats{
+		Replay:         e.upd.replay,
+		Updates:        e.upd.updates.Load(),
+		UpdateRows:     e.upd.updateRows.Load(),
+		Compactions:    e.upd.compactions.Load(),
+		CompactTotalUS: int64(e.upd.compactNS.Load() / 1e3),
+	}
+	walHandle := e.upd.wal
+	for name, rd := range e.upd.deltas {
+		if rd.ov.IsEmpty() && !rd.compacting {
+			continue
+		}
+		st.Overlays = append(st.Overlays, OverlayStat{
+			Relation:   name,
+			Rows:       rd.ov.Rows(),
+			BaseRows:   rd.baseCard,
+			Compacting: rd.compacting,
+		})
+	}
+	e.upd.mu.Unlock()
+	if walHandle != nil {
+		st.WAL = walHandle.StatsSnapshot()
+	}
+	sort.Slice(st.Overlays, func(i, j int) bool { return st.Overlays[i].Relation < st.Overlays[j].Relation })
+	return st
+}
+
+// walSnapshotDirMatches reports whether a snapshot to dir may truncate
+// the WAL (see WALConfig.SnapshotDir). An unpaired WAL is never
+// truncated by snapshots: nothing guarantees the next boot restores
+// from the directory that absorbed the records, so deleting them could
+// orphan acknowledged batches.
+func (e *Engine) walSnapshotDirMatches(dir string) bool {
+	if e.upd.walCfg.SnapshotDir == "" {
+		return false
+	}
+	a, err1 := filepath.Abs(e.upd.walCfg.SnapshotDir)
+	b, err2 := filepath.Abs(dir)
+	if err1 != nil || err2 != nil {
+		return e.upd.walCfg.SnapshotDir == dir
+	}
+	return a == b
+}

@@ -1,0 +1,213 @@
+// Package delta implements streaming updates over EmptyHeaded's
+// immutable tries: each updated relation is a compacted base trie plus a
+// small overlay of two mini-tries — inserts (built with the columnar
+// builder, annotated when the relation is) and tombstones (un-annotated
+// full-tuple deletes). Queries run against a merged view produced by a
+// path-copying merge: only nodes on overlay-touched paths are rebuilt
+// ((base \ del) ∪ ins at every trie level, see set.Merge3), everything
+// else is shared with the base, so an update to a 256k-edge relation
+// re-links a handful of nodes instead of re-sorting the base.
+//
+// When the overlay grows past a size ratio, a compactor folds the merged
+// view into a fresh flat base through the columnar build path (the
+// enumeration is already sorted, so the radix sort is skipped) and the
+// overlay resets to empty.
+//
+// The merged-view semantics are a function of (base, overlay) state, not
+// of update history: state = (base \ Del) ∪ Ins, with an inserted
+// tuple's annotation replacing the base's. Applying a newer overlay to a
+// base that already absorbed an older prefix of it yields the same
+// state (folding is idempotent), which is what lets compaction install
+// concurrently with new updates and WAL replay restart from any
+// snapshot boundary.
+package delta
+
+import (
+	"fmt"
+
+	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/trie"
+)
+
+// Overlay is one relation's pending updates: Ins holds inserted tuples
+// (annotated iff the relation is), Del holds full-tuple tombstones.
+// Invariant: Ins ∩ Del = ∅ — the last update to a tuple wins, so a
+// tuple lives in at most one side. Overlays are immutable; Apply
+// returns a new overlay sharing untouched subtrees.
+type Overlay struct {
+	Ins *trie.Trie
+	Del *trie.Trie
+	// rows caches Ins.Cardinality() + Del.Cardinality(), the overlay
+	// size that compaction thresholds and metrics read.
+	rows int
+}
+
+// NewOverlay returns the empty overlay for a relation of the given
+// shape.
+func NewOverlay(arity int, annotated bool, op semiring.Op) *Overlay {
+	return &Overlay{
+		Ins: trie.NewEmpty(arity, annotated, op),
+		Del: trie.NewEmpty(arity, false, semiring.None),
+	}
+}
+
+// Rows returns the number of live overlay tuples (inserts + tombstones).
+func (o *Overlay) Rows() int { return o.rows }
+
+// IsEmpty reports whether the overlay holds no pending updates.
+func (o *Overlay) IsEmpty() bool { return o.rows == 0 }
+
+// Apply folds one update batch into the overlay and returns the new
+// overlay (o is unchanged). Batch semantics: deletes apply first, then
+// inserts — a tuple both deleted and inserted in one batch ends
+// present. ins may be nil or empty; same for del.
+//
+//	Ins' = (Ins \ del) ∪ ins        (ins annotations win)
+//	Del' = (Del ∪ del) \ ins
+func (o *Overlay) Apply(ins, del *trie.Trie, layout trie.LayoutFunc) *Overlay {
+	layout = ensureLayout(layout)
+	newIns, newDel := o.Ins, o.Del
+	if del != nil && del.Cardinality() > 0 {
+		newIns = Difference(newIns, del, layout)
+		newDel = Union(newDel, del, false, layout)
+	}
+	if ins != nil && ins.Cardinality() > 0 {
+		newDel = Difference(newDel, ins, layout)
+		newIns = Union(newIns, ins, true, layout)
+	}
+	return &Overlay{
+		Ins:  newIns,
+		Del:  newDel,
+		rows: newIns.Cardinality() + newDel.Cardinality(),
+	}
+}
+
+// MergedView returns the query-visible relation (base \ del) ∪ ins as a
+// regular trie. Nodes on overlay-touched paths are rebuilt; all other
+// nodes are shared with base, so the cost is proportional to the
+// overlay (plus the width of touched nodes), not the base. ins and del
+// may be nil or empty; when both are, base itself is returned.
+func MergedView(base, ins, del *trie.Trie, layout trie.LayoutFunc) *trie.Trie {
+	insEmpty := ins == nil || ins.Cardinality() == 0
+	delEmpty := del == nil || del.Cardinality() == 0
+	if insEmpty && delEmpty {
+		return base
+	}
+	layout = ensureLayout(layout)
+	var insRoot, delRoot *trie.Node
+	if !insEmpty {
+		if ins.Arity != base.Arity {
+			panic(fmt.Sprintf("delta: insert overlay arity %d over base arity %d", ins.Arity, base.Arity))
+		}
+		insRoot = ins.Root
+	}
+	if !delEmpty {
+		if del.Arity != base.Arity {
+			panic(fmt.Sprintf("delta: tombstone overlay arity %d over base arity %d", del.Arity, base.Arity))
+		}
+		delRoot = del.Root
+	}
+	m := &merger{arity: base.Arity, annotated: base.Annotated, op: base.Op, layout: layout}
+	root := m.merge(base.Root, insRoot, delRoot, 0)
+	if root == nil {
+		root = &trie.Node{}
+	}
+	return &trie.Trie{Arity: base.Arity, Annotated: base.Annotated, Op: base.Op, Root: root}
+}
+
+// Compact folds a merged view into a fresh flat trie through the
+// columnar build path: the enumeration is in lexicographic order, so
+// the radix sort is skipped and the build is one dedup-free linear
+// pass. The result shares nothing with the view's base or overlay
+// (and in particular drops any aliases into mmap'd snapshot segments
+// or overlay mini-tries).
+func Compact(view *trie.Trie, layout trie.LayoutFunc) *trie.Trie {
+	cols, anns := view.Columns(0)
+	return trie.FromColumns(cols, anns, view.Op, ensureLayout(layout))
+}
+
+// TrimAgainst drops overlay entries a base already absorbed: inserts
+// whose tuple (and, for annotated relations, annotation) the base
+// holds, and tombstones for tuples the base doesn't hold. After a
+// compaction that raced with updates, the re-based overlay shrinks to
+// exactly the post-capture net-new changes instead of growing without
+// bound under sustained writes. Cost is O(overlay × depth) lookups
+// into base.
+func (o *Overlay) TrimAgainst(base *trie.Trie, layout trie.LayoutFunc) *Overlay {
+	layout = ensureLayout(layout)
+	arity := base.Arity
+	annotated := o.Ins.Annotated
+	op := o.Ins.Op
+
+	insCols := make([][]uint32, arity)
+	var insAnns []float64
+	o.Ins.ForEachTuple(func(tp []uint32, ann float64) {
+		if bAnn, ok := lookupTuple(base, tp); ok && (!annotated || bAnn == ann) {
+			return // absorbed
+		}
+		for c, v := range tp {
+			insCols[c] = append(insCols[c], v)
+		}
+		if annotated {
+			insAnns = append(insAnns, ann)
+		}
+	})
+	delCols := make([][]uint32, arity)
+	o.Del.ForEachTuple(func(tp []uint32, _ float64) {
+		if _, ok := lookupTuple(base, tp); !ok {
+			return // tombstone for an already-absent tuple
+		}
+		for c, v := range tp {
+			delCols[c] = append(delCols[c], v)
+		}
+	})
+	if annotated && insAnns == nil {
+		insAnns = []float64{}
+	}
+	ins := trie.FromColumns(insCols, insAnns, op, layout)
+	del := trie.FromColumns(delCols, nil, semiring.None, layout)
+	return &Overlay{Ins: ins, Del: del, rows: ins.Cardinality() + del.Cardinality()}
+}
+
+// lookupTuple descends base along one full tuple, returning the leaf
+// annotation (op.One() for un-annotated) and membership.
+func lookupTuple(t *trie.Trie, tuple []uint32) (float64, bool) {
+	n := t.Root
+	last := len(tuple) - 1
+	for level, v := range tuple {
+		if n == nil {
+			return 0, false
+		}
+		if level == last {
+			return n.AnnOf(v, t.Op)
+		}
+		n = n.Child(v)
+	}
+	return 0, false
+}
+
+// Permute rebuilds a (small) trie with its columns permuted: level i of
+// the result stores column perm[i] of t. The overlay index path uses it
+// to carry an overlay into a relation's permuted indexes without
+// re-sorting the base.
+func Permute(t *trie.Trie, perm []int, layout trie.LayoutFunc) *trie.Trie {
+	if t == nil {
+		return nil
+	}
+	if len(perm) != t.Arity {
+		panic(fmt.Sprintf("delta: permutation %v for arity-%d trie", perm, t.Arity))
+	}
+	cols, anns := t.Columns(0)
+	pcols := make([][]uint32, len(cols))
+	for i, p := range perm {
+		pcols[i] = cols[p]
+	}
+	return trie.FromColumns(pcols, anns, t.Op, ensureLayout(layout))
+}
+
+func ensureLayout(layout trie.LayoutFunc) trie.LayoutFunc {
+	if layout == nil {
+		return trie.AutoLayout
+	}
+	return layout
+}

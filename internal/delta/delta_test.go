@@ -1,0 +1,322 @@
+package delta
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/trie"
+)
+
+// buildTrie materializes tuples (with optional anns) into a trie.
+func buildTrie(t *testing.T, arity int, op semiring.Op, rows [][]uint32, anns []float64) *trie.Trie {
+	t.Helper()
+	cols := make([][]uint32, arity)
+	for c := range cols {
+		cols[c] = make([]uint32, len(rows))
+		for i, r := range rows {
+			cols[c][i] = r[c]
+		}
+	}
+	return trie.FromColumns(cols, anns, op, nil)
+}
+
+// tupleKey packs a tuple for map-model bookkeeping.
+func tupleKey(tp []uint32) string { return fmt.Sprint(tp) }
+
+// dump enumerates a trie into a map key→ann.
+func dump(tr *trie.Trie) map[string]float64 {
+	out := map[string]float64{}
+	tr.ForEachTuple(func(tp []uint32, ann float64) {
+		out[tupleKey(tp)] = ann
+	})
+	return out
+}
+
+func TestMergedViewBasic(t *testing.T) {
+	base := buildTrie(t, 2, semiring.None, [][]uint32{{1, 2}, {1, 3}, {2, 5}, {4, 1}}, nil)
+	ins := buildTrie(t, 2, semiring.None, [][]uint32{{1, 4}, {3, 3}}, nil)
+	del := buildTrie(t, 2, semiring.None, [][]uint32{{1, 2}, {4, 1}, {9, 9}}, nil)
+
+	view := MergedView(base, ins, del, nil)
+	got := dump(view)
+	want := map[string]float64{
+		tupleKey([]uint32{1, 3}): 1, tupleKey([]uint32{1, 4}): 1,
+		tupleKey([]uint32{2, 5}): 1, tupleKey([]uint32{3, 3}): 1,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged view %v, want %v", got, want)
+	}
+	if view.Cardinality() != 4 {
+		t.Fatalf("cardinality %d, want 4", view.Cardinality())
+	}
+	// Untouched subtree is shared, not copied: source 2 has no overlay.
+	r, _ := view.Root.Set.Rank(2)
+	br, _ := base.Root.Set.Rank(2)
+	if view.Root.Children[r] != base.Root.Children[br] {
+		t.Fatalf("untouched subtree was copied instead of shared")
+	}
+}
+
+func TestMergedViewEmptyOverlayIsBase(t *testing.T) {
+	base := buildTrie(t, 2, semiring.None, [][]uint32{{1, 2}}, nil)
+	if MergedView(base, nil, nil, nil) != base {
+		t.Fatalf("empty overlay should return base unchanged")
+	}
+	ov := NewOverlay(2, false, semiring.None)
+	if MergedView(base, ov.Ins, ov.Del, nil) != base {
+		t.Fatalf("empty overlay tries should return base unchanged")
+	}
+}
+
+func TestMergedViewAnnotationsReplace(t *testing.T) {
+	base := buildTrie(t, 1, semiring.Sum, [][]uint32{{1}, {2}, {3}}, []float64{10, 20, 30})
+	ins := buildTrie(t, 1, semiring.Sum, [][]uint32{{2}, {4}}, []float64{99, 44})
+	view := MergedView(base, ins, nil, nil)
+	got := dump(view)
+	want := map[string]float64{
+		tupleKey([]uint32{1}): 10, tupleKey([]uint32{2}): 99,
+		tupleKey([]uint32{3}): 30, tupleKey([]uint32{4}): 44,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("annotated view %v, want %v", got, want)
+	}
+}
+
+func TestOverlayApplyInvariant(t *testing.T) {
+	ov := NewOverlay(2, false, semiring.None)
+	ins1 := buildTrie(t, 2, semiring.None, [][]uint32{{1, 1}, {2, 2}}, nil)
+	ov = ov.Apply(ins1, nil, nil)
+	if ov.Rows() != 2 {
+		t.Fatalf("rows %d, want 2", ov.Rows())
+	}
+	// Delete one inserted tuple and one unrelated tuple.
+	del := buildTrie(t, 2, semiring.None, [][]uint32{{2, 2}, {7, 7}}, nil)
+	ov = ov.Apply(nil, del, nil)
+	if got := dump(ov.Ins); !reflect.DeepEqual(got, map[string]float64{tupleKey([]uint32{1, 1}): 1}) {
+		t.Fatalf("ins after delete: %v", got)
+	}
+	if got := dump(ov.Del); len(got) != 2 {
+		t.Fatalf("del after delete: %v", got)
+	}
+	// Re-insert a tombstoned tuple: tombstone must clear.
+	ins2 := buildTrie(t, 2, semiring.None, [][]uint32{{7, 7}}, nil)
+	ov = ov.Apply(ins2, nil, nil)
+	if _, dead := dump(ov.Del)[tupleKey([]uint32{7, 7})]; dead {
+		t.Fatalf("tombstone survived re-insert")
+	}
+	if ov.Rows() != 3 { // ins {1,1},{7,7} + del {2,2}
+		t.Fatalf("rows %d, want 3", ov.Rows())
+	}
+}
+
+func TestOverlaySameBatchDeleteThenInsert(t *testing.T) {
+	// A tuple both deleted and inserted in one batch ends present.
+	ov := NewOverlay(2, false, semiring.None)
+	ins := buildTrie(t, 2, semiring.None, [][]uint32{{5, 5}}, nil)
+	del := buildTrie(t, 2, semiring.None, [][]uint32{{5, 5}}, nil)
+	ov = ov.Apply(ins, del, nil)
+	if _, alive := dump(ov.Ins)[tupleKey([]uint32{5, 5})]; !alive {
+		t.Fatalf("tuple deleted+inserted in one batch should be present")
+	}
+	if _, dead := dump(ov.Del)[tupleKey([]uint32{5, 5})]; dead {
+		t.Fatalf("tombstone should not survive same-batch insert")
+	}
+}
+
+func TestCompactEqualsView(t *testing.T) {
+	base := buildTrie(t, 3, semiring.None, [][]uint32{{1, 2, 3}, {1, 2, 4}, {2, 1, 1}, {3, 3, 3}}, nil)
+	ins := buildTrie(t, 3, semiring.None, [][]uint32{{1, 2, 5}, {9, 9, 9}}, nil)
+	del := buildTrie(t, 3, semiring.None, [][]uint32{{2, 1, 1}, {1, 2, 3}}, nil)
+	view := MergedView(base, ins, del, nil)
+	compacted := Compact(view, nil)
+	if !reflect.DeepEqual(dump(view), dump(compacted)) {
+		t.Fatalf("compacted trie differs from merged view")
+	}
+	if compacted.Cardinality() != view.Cardinality() {
+		t.Fatalf("compacted cardinality %d, view %d", compacted.Cardinality(), view.Cardinality())
+	}
+}
+
+func TestTrimAgainst(t *testing.T) {
+	// Base already absorbed {1,1} (insert) and lacks {9,9} (tombstone);
+	// only the genuinely new changes must survive the trim.
+	base := buildTrie(t, 2, semiring.None, [][]uint32{{1, 1}, {2, 2}, {3, 3}}, nil)
+	ov := NewOverlay(2, false, semiring.None)
+	ov = ov.Apply(
+		buildTrie(t, 2, semiring.None, [][]uint32{{1, 1}, {5, 5}}, nil), // {1,1} absorbed, {5,5} new
+		buildTrie(t, 2, semiring.None, [][]uint32{{2, 2}, {9, 9}}, nil), // {2,2} live tombstone, {9,9} no-op
+		nil)
+	trimmed := ov.TrimAgainst(base, nil)
+	if got := dump(trimmed.Ins); !reflect.DeepEqual(got, map[string]float64{tupleKey([]uint32{5, 5}): 1}) {
+		t.Fatalf("trimmed ins %v", got)
+	}
+	if got := dump(trimmed.Del); !reflect.DeepEqual(got, map[string]float64{tupleKey([]uint32{2, 2}): 1}) {
+		t.Fatalf("trimmed del %v", got)
+	}
+	if trimmed.Rows() != 2 {
+		t.Fatalf("trimmed rows %d, want 2", trimmed.Rows())
+	}
+	// The merged view is unchanged by trimming.
+	if a, b := dump(MergedView(base, ov.Ins, ov.Del, nil)), dump(MergedView(base, trimmed.Ins, trimmed.Del, nil)); !reflect.DeepEqual(a, b) {
+		t.Fatalf("trim changed the merged view: %v vs %v", a, b)
+	}
+
+	// Annotated: an insert with a DIFFERENT annotation than the base
+	// survives (it is a live upsert); an identical one drops.
+	abase := buildTrie(t, 1, semiring.Sum, [][]uint32{{1}, {2}}, []float64{10, 20})
+	aov := NewOverlay(1, true, semiring.Sum)
+	aov = aov.Apply(buildTrie(t, 1, semiring.Sum, [][]uint32{{1}, {2}}, []float64{10, 99}), nil, nil)
+	at := aov.TrimAgainst(abase, nil)
+	if got := dump(at.Ins); !reflect.DeepEqual(got, map[string]float64{tupleKey([]uint32{2}): 99}) {
+		t.Fatalf("annotated trim kept %v", got)
+	}
+}
+
+func TestPermute(t *testing.T) {
+	tr := buildTrie(t, 2, semiring.Sum, [][]uint32{{1, 9}, {2, 8}}, []float64{0.5, 0.25})
+	p := Permute(tr, []int{1, 0}, nil)
+	got := dump(p)
+	want := map[string]float64{
+		tupleKey([]uint32{9, 1}): 0.5, tupleKey([]uint32{8, 2}): 0.25,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("permuted %v, want %v", got, want)
+	}
+	if Permute(nil, []int{0, 1}, nil) != nil {
+		t.Fatalf("Permute(nil) should be nil")
+	}
+}
+
+// TestDifferentialRandom drives random batched inserts/deletes through
+// the overlay machinery and checks the merged view (and its compaction)
+// against a naive map model after every batch — the property that
+// base+overlay is indistinguishable from a from-scratch rebuild.
+func TestDifferentialRandom(t *testing.T) {
+	for _, annotated := range []bool{false, true} {
+		for seed := int64(0); seed < 6; seed++ {
+			t.Run(fmt.Sprintf("ann=%v/seed=%d", annotated, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				arity := 2 + rng.Intn(2)
+				op := semiring.None
+				if annotated {
+					op = semiring.Sum
+				}
+
+				randRow := func() []uint32 {
+					row := make([]uint32, arity)
+					for i := range row {
+						row[i] = uint32(rng.Intn(12))
+					}
+					return row
+				}
+
+				// Random base.
+				model := map[string]float64{}
+				modelRows := map[string][]uint32{}
+				var baseRows [][]uint32
+				var baseAnns []float64
+				for i := 0; i < 60; i++ {
+					r := randRow()
+					baseRows = append(baseRows, r)
+					a := 1.0
+					if annotated {
+						a = float64(rng.Intn(100))
+						baseAnns = append(baseAnns, a)
+					}
+					k := tupleKey(r)
+					if annotated {
+						if old, dup := model[k]; dup {
+							a = op.Add(old, a) // builder ⊕-combines duplicates
+						}
+					}
+					model[k] = a
+					modelRows[k] = r
+				}
+				var anns []float64
+				if annotated {
+					anns = baseAnns
+				}
+				base := buildTrie(t, arity, op, baseRows, anns)
+
+				ov := NewOverlay(arity, annotated, op)
+				for batch := 0; batch < 15; batch++ {
+					// Deletes first (half aimed at live tuples), then inserts.
+					var delRows [][]uint32
+					for i := 0; i < rng.Intn(6); i++ {
+						if len(model) > 0 && rng.Intn(2) == 0 {
+							keys := make([]string, 0, len(model))
+							for k := range model {
+								keys = append(keys, k)
+							}
+							sort.Strings(keys)
+							delRows = append(delRows, modelRows[keys[rng.Intn(len(keys))]])
+						} else {
+							delRows = append(delRows, randRow())
+						}
+					}
+					var insRows [][]uint32
+					var insAnns []float64
+					for i := 0; i < rng.Intn(6); i++ {
+						insRows = append(insRows, randRow())
+						if annotated {
+							insAnns = append(insAnns, float64(rng.Intn(100)))
+						}
+					}
+
+					// Model: delete-then-insert, last insert wins per tuple
+					// within a batch is ⊕-combined by the mini-trie build,
+					// so mirror that by building the mini tries first and
+					// folding their post-dedup tuples into the model.
+					var insT, delT *trie.Trie
+					if len(delRows) > 0 {
+						delT = buildTrie(t, arity, semiring.None, delRows, nil)
+					}
+					if len(insRows) > 0 {
+						insT = buildTrie(t, arity, op, insRows, insAnns)
+					}
+					if delT != nil {
+						delT.ForEachTuple(func(tp []uint32, _ float64) {
+							delete(model, tupleKey(tp))
+						})
+					}
+					if insT != nil {
+						insT.ForEachTuple(func(tp []uint32, ann float64) {
+							k := tupleKey(tp)
+							model[k] = ann
+							modelRows[k] = append([]uint32(nil), tp...)
+						})
+					}
+
+					ov = ov.Apply(insT, delT, nil)
+					view := MergedView(base, ov.Ins, ov.Del, nil)
+					got := dump(view)
+					want := model
+					if !annotated {
+						want = map[string]float64{}
+						for k := range model {
+							want[k] = 1
+						}
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("batch %d: view %v, want %v", batch, got, want)
+					}
+					// Compaction must be invisible.
+					if cd := dump(Compact(view, nil)); !reflect.DeepEqual(cd, want) {
+						t.Fatalf("batch %d: compacted %v, want %v", batch, cd, want)
+					}
+					// Idempotent re-fold: applying the current overlay onto
+					// an already-folded base is a no-op (the compaction
+					// install race and WAL-replay-after-snapshot property).
+					refold := MergedView(Compact(view, nil), ov.Ins, ov.Del, nil)
+					if rd := dump(refold); !reflect.DeepEqual(rd, want) {
+						t.Fatalf("batch %d: re-folded %v, want %v", batch, rd, want)
+					}
+				}
+			})
+		}
+	}
+}

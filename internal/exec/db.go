@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"emptyheaded/internal/delta"
 	"emptyheaded/internal/graph"
 	"emptyheaded/internal/semiring"
 	"emptyheaded/internal/set"
@@ -217,6 +218,31 @@ type Relation struct {
 	mu        sync.RWMutex
 	canonical *trie.Trie
 	indexes   map[string]*trie.Trie
+
+	// Overlay decomposition (see AddTrieOverlay): when base is non-nil,
+	// canonical is the merged view (base \ ovDel) ∪ ovIns, and permuted
+	// indexes are assembled as base.Index(perm) merged with the permuted
+	// overlay — O(overlay) per index instead of re-sorting the whole
+	// merged relation. base is a standalone relation whose index cache
+	// is shared across successive overlay installs of the same relation.
+	base  *Relation
+	ovIns *trie.Trie
+	ovDel *trie.Trie
+}
+
+// NewRelation wraps a trie as a standalone relation (with its own index
+// cache) outside any DB. The streaming-update layer holds each updated
+// relation's compacted base this way, so permuted base indexes are
+// built once and reused by every overlay install on top of it.
+func NewRelation(name string, t *trie.Trie) *Relation {
+	return &Relation{
+		Name:      name,
+		Arity:     t.Arity,
+		Annotated: t.Annotated,
+		Op:        t.Op,
+		canonical: t,
+		indexes:   map[string]*trie.Trie{},
+	}
 }
 
 // AddTrie registers (or replaces) a relation stored as a trie in natural
@@ -235,6 +261,63 @@ func (db *DB) AddTrie(name string, t *trie.Trie) *Relation {
 	db.bumpRelLocked(name)
 	db.mu.Unlock()
 	return r
+}
+
+// AddTrieOverlay registers (or replaces) relation name with its merged
+// streaming-update view plus the overlay decomposition it was built
+// from: base is the compacted-base relation (its index cache is shared
+// across installs), ins/del the overlay mini-tries (either may be nil).
+// Like AddTrie it bumps the relation's epoch, so read-set-keyed result
+// caches invalidate exactly the queries that read this relation.
+func (db *DB) AddTrieOverlay(name string, merged *trie.Trie, base *Relation, ins, del *trie.Trie) *Relation {
+	r := &Relation{
+		Name:      name,
+		Arity:     merged.Arity,
+		Annotated: merged.Annotated,
+		Op:        merged.Op,
+		canonical: merged,
+		indexes:   map[string]*trie.Trie{},
+		base:      base,
+		ovIns:     ins,
+		ovDel:     del,
+	}
+	db.mu.Lock()
+	db.rels[name] = r
+	db.bumpRelLocked(name)
+	db.mu.Unlock()
+	return r
+}
+
+// SwapTrie replaces relation name's physical representation WITHOUT
+// advancing its epoch or the global version — strictly for installs
+// whose logical content is unchanged (the compactor folding an overlay
+// into a fresh base). Epoch-keyed result caches therefore stay valid
+// across the swap, which is what makes compaction invisible to clients
+// instead of flushing every cached query over the relation. The swap
+// is conditional on the caller's view still being installed (old must
+// be the current canonical trie) so it can never clobber a concurrent
+// load; it returns false when the relation moved on. base/ins/del
+// carry the overlay decomposition (nil for a plain compacted install).
+func (db *DB) SwapTrie(name string, old, merged *trie.Trie, base *Relation, ins, del *trie.Trie) bool {
+	r := &Relation{
+		Name:      name,
+		Arity:     merged.Arity,
+		Annotated: merged.Annotated,
+		Op:        merged.Op,
+		canonical: merged,
+		indexes:   map[string]*trie.Trie{},
+		base:      base,
+		ovIns:     ins,
+		ovDel:     del,
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cur, ok := db.rels[name]
+	if !ok || cur.Canonical() != old {
+		return false
+	}
+	db.rels[name] = r
+	return true
 }
 
 // AddGraph registers the graph's edge relation under the given name using
@@ -356,6 +439,17 @@ func (r *Relation) Index(perm []int, layout trie.LayoutFunc, layoutName string) 
 	var t *trie.Trie
 	if identity && layoutName == "auto" && r.canonical != nil {
 		t = r.canonical
+	} else if r.base != nil {
+		// Overlay path: permute only the (small) overlay and merge it
+		// over the base's cached permuted index, instead of enumerating
+		// and re-sorting the whole merged relation. Lock order is always
+		// merged-relation → base-relation, never the reverse, so holding
+		// r.mu across base.Index cannot deadlock.
+		baseIdx := r.base.Index(perm, layout, layoutName)
+		t = delta.MergedView(baseIdx,
+			delta.Permute(r.ovIns, perm, layout),
+			delta.Permute(r.ovDel, perm, layout),
+			layout)
 	} else {
 		// Re-sort the permuted columns through the columnar builder: one
 		// enumeration pass fills exact-size columns, the radix sort does

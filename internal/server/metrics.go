@@ -69,6 +69,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "emptyheaded_plan_cache_recompiles_total %d\n", st.PlanCache.Recompiles)
 	cache("emptyheaded_result_cache", st.ResultCache)
 
+	// Streaming-update subsystem: WAL, overlays, compaction, replay.
+	d := st.Durability
+	counterHeader("emptyheaded_updates_total", "Streaming update batches applied.")
+	fmt.Fprintf(&sb, "emptyheaded_updates_total %d\n", d.Updates)
+	counterHeader("emptyheaded_update_rows_total", "Inserted + deleted rows across update batches.")
+	fmt.Fprintf(&sb, "emptyheaded_update_rows_total %d\n", d.UpdateRows)
+	if d.WAL.Enabled {
+		counterHeader("emptyheaded_wal_records_total", "Records appended to the write-ahead log.")
+		fmt.Fprintf(&sb, "emptyheaded_wal_records_total %d\n", d.WAL.Records)
+		counterHeader("emptyheaded_wal_bytes_total", "Payload bytes appended to the write-ahead log.")
+		fmt.Fprintf(&sb, "emptyheaded_wal_bytes_total %d\n", d.WAL.Bytes)
+		counterHeader("emptyheaded_wal_fsyncs_total", "Explicit WAL fsyncs.")
+		fmt.Fprintf(&sb, "emptyheaded_wal_fsyncs_total %d\n", d.WAL.Fsyncs)
+		counterHeader("emptyheaded_wal_fsync_seconds_total", "Total WAL fsync latency in seconds.")
+		fmt.Fprintf(&sb, "emptyheaded_wal_fsync_seconds_total %g\n", float64(d.WAL.FsyncNanos)/1e9)
+		gauge("emptyheaded_wal_segments", "Live WAL segment files.", float64(d.WAL.Segments))
+		gauge("emptyheaded_wal_seq", "Last assigned WAL sequence number.", float64(d.WAL.Seq))
+		gauge("emptyheaded_wal_replay_records", "Records replayed from the WAL on boot.", float64(d.Replay.Records))
+		gauge("emptyheaded_wal_replay_duration_seconds", "WAL replay duration on boot, in seconds.", float64(d.Replay.DurationUS)/1e6)
+	}
+	counterHeader("emptyheaded_compactions_total", "Delta-overlay compactions run.")
+	fmt.Fprintf(&sb, "emptyheaded_compactions_total %d\n", d.Compactions)
+	counterHeader("emptyheaded_compact_seconds_total", "Total compaction wall time in seconds.")
+	fmt.Fprintf(&sb, "emptyheaded_compact_seconds_total %g\n", float64(d.CompactTotalUS)/1e6)
+	fmt.Fprintf(&sb, "# HELP %s Live delta-overlay rows (pending inserts + tombstones) per relation.\n# TYPE %s gauge\n",
+		"emptyheaded_overlay_rows", "emptyheaded_overlay_rows")
+	for _, ov := range d.Overlays {
+		fmt.Fprintf(&sb, "emptyheaded_overlay_rows{relation=%q} %d\n", ov.Relation, ov.Rows)
+	}
+
 	gauge("emptyheaded_admission_workers", "Worker slots.", float64(st.Admission.Workers))
 	gauge("emptyheaded_admission_queue_depth", "Admission queue capacity.", float64(st.Admission.QueueDepth))
 	gauge("emptyheaded_admission_active", "Queries executing now.", float64(st.Admission.Active))

@@ -11,6 +11,8 @@
 //	POST /explain   {"query": "..."}                      render the physical plan
 //	GET  /relations                                       catalog of stored relations
 //	POST /load      {"name": "Edge", "path"|"edges"|...}  load a relation, invalidate caches
+//	POST /update    {"name": "Edge", "inserts"|...}       stream inserts/deletes (WAL + delta overlay)
+//	POST /compact   {"name": "Edge"}                      fold a relation's overlay into its base
 //	POST /snapshot  {"dir": "/data/snap"}                 persist the database (binary snapshot)
 //	POST /restore   {"dir": "/data/snap"}                 replace the database from a snapshot
 //	GET  /stats                                           per-endpoint latency + cache counters
@@ -135,6 +137,8 @@ func New(eng *core.Engine, cfg Config) *Server {
 			"/explain":   newLatencyWindow(),
 			"/relations": newLatencyWindow(),
 			"/load":      newLatencyWindow(),
+			"/update":    newLatencyWindow(),
+			"/compact":   newLatencyWindow(),
 			"/snapshot":  newLatencyWindow(),
 			"/restore":   newLatencyWindow(),
 			"/stats":     newLatencyWindow(),
@@ -150,6 +154,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/explain", s.instrument("/explain", s.handleExplain))
 	mux.HandleFunc("/relations", s.instrument("/relations", s.handleRelations))
 	mux.HandleFunc("/load", s.instrument("/load", s.handleLoad))
+	mux.HandleFunc("/update", s.instrument("/update", s.handleUpdate))
+	mux.HandleFunc("/compact", s.instrument("/compact", s.handleCompact))
 	mux.HandleFunc("/snapshot", s.instrument("/snapshot", s.handleSnapshot))
 	mux.HandleFunc("/restore", s.instrument("/restore", s.handleRestore))
 	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
@@ -795,6 +801,149 @@ func (s *Server) load(req *LoadRequest) error {
 	return badRequest("one of \"path\", \"edges\", \"tuples\" or \"columns\" required")
 }
 
+// UpdateRequest is the /update body: streaming inserts and/or deletes
+// against one relation, as rows (tuples of dense codes) or columns
+// (columns[i] holds attribute i of every row — no server-side
+// transposition). Deletes apply before inserts. Anns annotates the
+// inserted rows when the relation is annotated; Op names the semiring
+// when the batch creates a new annotated relation.
+type UpdateRequest struct {
+	Name          string     `json:"name"`
+	Inserts       [][]uint32 `json:"inserts,omitempty"`
+	InsertColumns [][]uint32 `json:"insert_columns,omitempty"`
+	Deletes       [][]uint32 `json:"deletes,omitempty"`
+	DeleteColumns [][]uint32 `json:"delete_columns,omitempty"`
+	Anns          []float64  `json:"anns,omitempty"`
+	Op            string     `json:"op,omitempty"`
+}
+
+// handleUpdate applies one streaming update batch: journaled in the WAL
+// (when the server runs with one) before it applies, visible to queries
+// through the relation's delta overlay immediately after. Only the
+// updated relation's epoch advances, so cached results of queries that
+// never read it survive.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, badRequest("bad request body: %v", err))
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, badRequest("missing \"name\""))
+		return
+	}
+	b := core.UpdateBatch{Rel: req.Name, InsAnns: req.Anns}
+	if req.Op != "" {
+		op, err := semiring.ParseOp(req.Op)
+		if err != nil {
+			writeErr(w, badRequest("%v", err))
+			return
+		}
+		b.Op = op
+	}
+	var err error
+	if b.InsCols, err = updateCols(req.Inserts, req.InsertColumns, "insert"); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if b.DelCols, err = updateCols(req.Deletes, req.DeleteColumns, "delete"); err != nil {
+		writeErr(w, err)
+		return
+	}
+	t0 := time.Now()
+	// Mini-trie builds and the merged-view install are bounded by the
+	// same worker pool as queries and loads.
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.eng.Update(b)
+	release()
+	if err != nil {
+		if errors.Is(err, core.ErrDurability) {
+			// The WAL could not persist the batch (disk full, I/O error):
+			// a server-side, retryable failure — not a bad request.
+			writeErr(w, &httpError{http.StatusServiceUnavailable, err.Error()})
+			return
+		}
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":         res.Rel,
+		"seq":          res.Seq,
+		"inserted":     res.Inserted,
+		"deleted":      res.Deleted,
+		"cardinality":  res.Cardinality,
+		"overlay_rows": res.OverlayRows,
+		"elapsed_us":   time.Since(t0).Microseconds(),
+	})
+}
+
+// updateCols normalizes one side of an update request to columns.
+func updateCols(rows [][]uint32, cols [][]uint32, side string) ([][]uint32, error) {
+	if rows != nil && cols != nil {
+		return nil, badRequest("give %ss as rows or columns, not both", side)
+	}
+	if cols != nil {
+		return cols, nil
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	out, err := core.RowsToColumns(rows)
+	if err != nil {
+		return nil, badRequest("%s rows: %v", side, err)
+	}
+	return out, nil
+}
+
+// CompactRequest is the /compact body.
+type CompactRequest struct {
+	Name string `json:"name"`
+}
+
+// handleCompact folds the named relation's overlay into a fresh base
+// trie (a no-op when the overlay is empty or a background compaction is
+// already running).
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	var req CompactRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, badRequest("bad request body: %v", err))
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, badRequest("missing \"name\""))
+		return
+	}
+	t0 := time.Now()
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	did, err := s.eng.Compact(req.Name)
+	release()
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":       req.Name,
+		"compacted":  did,
+		"elapsed_us": time.Since(t0).Microseconds(),
+	})
+}
+
 // SnapshotRequest is the /snapshot and /restore body; Dir falls back to
 // the server's configured data directory.
 type SnapshotRequest struct {
@@ -913,6 +1062,7 @@ type Stats struct {
 	PlanCache   PlanCacheStats           `json:"plan_cache"`
 	ResultCache CacheStats               `json:"result_cache"`
 	Admission   AdmissionStats           `json:"admission"`
+	Durability  core.DurabilityStats     `json:"durability"`
 }
 
 // StatsSnapshot returns the same payload /stats serves (used by the load
@@ -930,6 +1080,7 @@ func (s *Server) StatsSnapshot() Stats {
 		PlanCache:   s.plans.stats(),
 		ResultCache: s.results.stats(),
 		Admission:   s.adm.stats(),
+		Durability:  s.eng.Durability(),
 	}
 }
 

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"emptyheaded/internal/bench"
+	"emptyheaded/internal/core"
+	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/wal"
+)
+
+// newUpdateService serves a small hand-built edge relation (dense
+// codes, no dictionary) so update bodies can speak codes directly.
+func newUpdateService(t *testing.T, cfg Config) (*core.Engine, *httptest.Server) {
+	t.Helper()
+	eng := core.New()
+	// One DAG triangle 0→1→2 with chord 0→2, plus a stray edge 3→4.
+	if err := eng.AddRelationColumns("Edge",
+		[][]uint32{{0, 1, 0, 3}, {1, 2, 2, 4}}, nil, semiring.None); err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return eng, ts
+}
+
+func triCount(t *testing.T, base string) float64 {
+	t.Helper()
+	qr := runQuery(t, base, `TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
+	if qr.Scalar == nil {
+		t.Fatalf("no scalar in %+v", qr)
+	}
+	return *qr.Scalar
+}
+
+func TestUpdateEndpoint(t *testing.T) {
+	_, ts := newUpdateService(t, Config{})
+	if got := triCount(t, ts.URL); got != 1 {
+		t.Fatalf("seed triangle count %g, want 1", got)
+	}
+
+	// Insert rows: a second triangle 1→3→4 (closing over 3→4).
+	var ur struct {
+		Cardinality int `json:"cardinality"`
+		OverlayRows int `json:"overlay_rows"`
+		Inserted    int `json:"inserted"`
+	}
+	code, body := postJSON(t, ts.URL+"/update", UpdateRequest{
+		Name:    "Edge",
+		Inserts: [][]uint32{{1, 3}, {1, 4}},
+	}, &ur)
+	if code != 200 {
+		t.Fatalf("update: %d %s", code, body)
+	}
+	if ur.Inserted != 2 || ur.Cardinality != 6 || ur.OverlayRows != 2 {
+		t.Fatalf("update response %+v", ur)
+	}
+	if got := triCount(t, ts.URL); got != 2 {
+		t.Fatalf("triangle count after insert %g, want 2", got)
+	}
+
+	// Delete via columns: remove the original triangle's chord 0→2.
+	code, body = postJSON(t, ts.URL+"/update", UpdateRequest{
+		Name:          "Edge",
+		DeleteColumns: [][]uint32{{0}, {2}},
+	}, nil)
+	if code != 200 {
+		t.Fatalf("delete: %d %s", code, body)
+	}
+	if got := triCount(t, ts.URL); got != 1 {
+		t.Fatalf("triangle count after delete %g, want 1", got)
+	}
+
+	// Bad requests.
+	for _, req := range []UpdateRequest{
+		{},                                       // no name
+		{Name: "Edge"},                           // no rows
+		{Name: "Edge", Inserts: [][]uint32{{1}}}, // arity
+		{Name: "Edge", Inserts: [][]uint32{{1, 2}}, InsertColumns: [][]uint32{{1}}}, // both forms
+	} {
+		if code, _ := postJSON(t, ts.URL+"/update", req, nil); code != 400 {
+			t.Fatalf("bad request %+v: code %d", req, code)
+		}
+	}
+}
+
+// TestUpdateResultCacheScoping: updating Edge invalidates cached
+// results that read Edge but keeps results over other relations.
+func TestUpdateResultCacheScoping(t *testing.T) {
+	eng, ts := newUpdateService(t, Config{})
+	if err := eng.AddRelationColumns("Other", [][]uint32{{5, 6}, {6, 7}}, nil, semiring.None); err != nil {
+		t.Fatal(err)
+	}
+	edgeQ := `L(x,y) :- Edge(x,y).`
+	otherQ := `M(x,y) :- Other(x,y).`
+	runQuery(t, ts.URL, edgeQ)
+	runQuery(t, ts.URL, otherQ)
+	if qr := runQuery(t, ts.URL, otherQ); !qr.ResultCached {
+		t.Fatal("Other query should be cached before the update")
+	}
+
+	if code, body := postJSON(t, ts.URL+"/update", UpdateRequest{
+		Name: "Edge", Inserts: [][]uint32{{9, 9}},
+	}, nil); code != 200 {
+		t.Fatalf("update: %d %s", code, body)
+	}
+	if qr := runQuery(t, ts.URL, otherQ); !qr.ResultCached {
+		t.Fatal("Other query cache entry should survive an Edge update")
+	}
+	qr := runQuery(t, ts.URL, edgeQ)
+	if qr.ResultCached {
+		t.Fatal("Edge query cache entry should be invalidated by the update")
+	}
+	if qr.Cardinality != 5 {
+		t.Fatalf("Edge listing cardinality %d, want 5", qr.Cardinality)
+	}
+}
+
+func TestCompactEndpoint(t *testing.T) {
+	_, ts := newUpdateService(t, Config{})
+	postJSON(t, ts.URL+"/update", UpdateRequest{Name: "Edge", Inserts: [][]uint32{{8, 9}}}, nil)
+	before := triCount(t, ts.URL)
+
+	var cr struct {
+		Compacted bool `json:"compacted"`
+	}
+	if code, body := postJSON(t, ts.URL+"/compact", CompactRequest{Name: "Edge"}, &cr); code != 200 || !cr.Compacted {
+		t.Fatalf("compact: %d %s (%+v)", code, body, cr)
+	}
+	if got := triCount(t, ts.URL); got != before {
+		t.Fatalf("compaction changed results: %g != %g", got, before)
+	}
+	// Second compact is a no-op.
+	if code, _ := postJSON(t, ts.URL+"/compact", CompactRequest{Name: "Edge"}, &cr); code != 200 || cr.Compacted {
+		t.Fatalf("re-compact should be a no-op, got %+v", cr)
+	}
+	if code, _ := postJSON(t, ts.URL+"/compact", CompactRequest{}, nil); code != 400 {
+		t.Fatal("compact without name should 400")
+	}
+}
+
+// TestUpdateWALRestartViaServer: a server with a WAL recovers streamed
+// updates in a second server process-equivalent (fresh engine, same
+// dirs) without an intervening snapshot.
+func TestUpdateWALRestartViaServer(t *testing.T) {
+	walDir := t.TempDir()
+
+	eng := core.New()
+	eng.AddRelationColumns("Edge", [][]uint32{{0, 1, 2}, {1, 2, 0}}, nil, semiring.None)
+	if _, err := eng.OpenWAL(core.WALConfig{Dir: walDir, Sync: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng, Config{}).Handler())
+	postJSON(t, ts.URL+"/update", UpdateRequest{Name: "Edge", Inserts: [][]uint32{{0, 2}, {2, 1}}}, nil)
+	postJSON(t, ts.URL+"/update", UpdateRequest{Name: "Edge", Deletes: [][]uint32{{2, 0}}}, nil)
+	want := runQuery(t, ts.URL, `L(x,y) :- Edge(x,y).`)
+	ts.Close()
+	// No CloseWAL: simulate an unclean exit (fsync=always made every
+	// acknowledged batch durable).
+
+	eng2 := core.New()
+	eng2.AddRelationColumns("Edge", [][]uint32{{0, 1, 2}, {1, 2, 0}}, nil, semiring.None)
+	st, err := eng2.OpenWAL(core.WALConfig{Dir: walDir, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 {
+		t.Fatalf("replay stats %+v", st)
+	}
+	ts2 := httptest.NewServer(New(eng2, Config{}).Handler())
+	defer ts2.Close()
+	got := runQuery(t, ts2.URL, `L(x,y) :- Edge(x,y).`)
+	if len(got.Tuples) != len(want.Tuples) {
+		t.Fatalf("restart: %d tuples, want %d", len(got.Tuples), len(want.Tuples))
+	}
+	for i := range want.Tuples {
+		if got.Tuples[i][0] != want.Tuples[i][0] || got.Tuples[i][1] != want.Tuples[i][1] {
+			t.Fatalf("restart tuple %d: %v != %v", i, got.Tuples[i], want.Tuples[i])
+		}
+	}
+}
+
+// TestMixedWorkloadGenerator drives the bench package's mixed mode (the
+// eh-bench -mixed path): queries and streaming updates against one live
+// service, with update throughput and query latency both reported.
+func TestMixedWorkloadGenerator(t *testing.T) {
+	_, ts := newTestService(t, Config{Workers: 4})
+
+	rep, err := bench.RunMixed(bench.MixedConfig{
+		URL:               ts.URL,
+		Relation:          "Edge",
+		QueryConcurrency:  3,
+		UpdateConcurrency: 2,
+		Duration:          400 * time.Millisecond,
+		BatchRows:         16,
+		KeySpace:          200,
+		Seed:              3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QueryRequests == 0 || rep.UpdateBatches == 0 {
+		t.Fatalf("mixed run idle: %+v", rep)
+	}
+	if rep.QueryErrors != 0 || rep.UpdateErrors != 0 {
+		t.Fatalf("mixed run saw errors: %+v", rep)
+	}
+	if rep.UpdatesPerSecond <= 0 || rep.RowsPerSecond <= 0 {
+		t.Fatalf("update throughput not reported: %+v", rep)
+	}
+	if rep.UpdateP99 < rep.UpdateP50 || rep.QueryP99 < rep.QueryP50 {
+		t.Fatalf("percentiles inconsistent: %+v", rep)
+	}
+	out := rep.Format()
+	for _, want := range []string{"updates/s", "query p99 latency", "update p99 latency", "overlay rows"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mixed report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsIncludeDurability(t *testing.T) {
+	_, ts := newUpdateService(t, Config{})
+	postJSON(t, ts.URL+"/update", UpdateRequest{Name: "Edge", Inserts: [][]uint32{{7, 8}}}, nil)
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"emptyheaded_updates_total 1",
+		"emptyheaded_update_rows_total 1",
+		"emptyheaded_overlay_rows{relation=\"Edge\"} 1",
+		"emptyheaded_compactions_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

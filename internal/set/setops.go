@@ -90,6 +90,47 @@ func Difference(a, b Set) Set {
 	return FromSorted(out)
 }
 
+// Merge3 computes (base \ del) ∪ ins as a sorted values slice in one
+// pass. It is the per-level set operation of the delta-trie overlay
+// merge: del carries tombstoned values, ins freshly inserted ones, and
+// the result is the value set a query sees at that trie level. The
+// returned slice is freshly allocated (except when it can alias one
+// input wholesale) and safe to hand to BuildLayout.
+func Merge3(base, ins, del Set) []uint32 {
+	if ins.card == 0 && del.card == 0 {
+		return base.Slice()
+	}
+	if base.card == 0 {
+		return ins.Slice()
+	}
+	b, i, d := base.Slice(), ins.Slice(), del.Slice()
+	out := make([]uint32, 0, len(b)+len(i))
+	bi, ii, di := 0, 0, 0
+	for bi < len(b) || ii < len(i) {
+		// Values present in ins always survive (ins ∩ del = ∅ by the
+		// overlay invariant; even without it, insert-after-delete wins).
+		if ii < len(i) && (bi >= len(b) || i[ii] <= b[bi]) {
+			v := i[ii]
+			ii++
+			if bi < len(b) && b[bi] == v {
+				bi++
+			}
+			out = append(out, v)
+			continue
+		}
+		v := b[bi]
+		bi++
+		for di < len(d) && d[di] < v {
+			di++
+		}
+		if di < len(d) && d[di] == v {
+			continue // tombstoned
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 func max32(a, b uint32) uint32 {
 	if a > b {
 		return a

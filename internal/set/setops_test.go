@@ -1,0 +1,72 @@
+package set
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestMerge3(t *testing.T) {
+	cases := []struct {
+		base, ins, del []uint32
+		want           []uint32
+	}{
+		{nil, nil, nil, nil},
+		{[]uint32{1, 2, 3}, nil, nil, []uint32{1, 2, 3}},
+		{nil, []uint32{4, 5}, []uint32{4}, []uint32{4, 5}}, // ins wins over del
+		{[]uint32{1, 2, 3}, []uint32{2, 4}, []uint32{3}, []uint32{1, 2, 4}},
+		{[]uint32{10, 20}, []uint32{5, 30}, []uint32{10, 20}, []uint32{5, 30}},
+		{[]uint32{1, 2, 3}, nil, []uint32{1, 2, 3, 4}, nil},
+	}
+	for _, c := range cases {
+		got := Merge3(FromSorted(c.base), FromSorted(c.ins), FromSorted(c.del))
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Merge3(%v,%v,%v) = %v, want %v", c.base, c.ins, c.del, got, c.want)
+		}
+	}
+}
+
+func TestMerge3RandomAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randSet := func(n, space int) []uint32 {
+		m := map[uint32]bool{}
+		for i := 0; i < n; i++ {
+			m[uint32(rng.Intn(space))] = true
+		}
+		out := make([]uint32, 0, len(m))
+		for v := range m {
+			out = append(out, v)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for iter := 0; iter < 200; iter++ {
+		b, i, d := randSet(rng.Intn(40), 64), randSet(rng.Intn(20), 64), randSet(rng.Intn(20), 64)
+		want := map[uint32]bool{}
+		for _, v := range b {
+			want[v] = true
+		}
+		for _, v := range d {
+			delete(want, v)
+		}
+		for _, v := range i {
+			want[v] = true
+		}
+		var wantS []uint32
+		for v := range want {
+			wantS = append(wantS, v)
+		}
+		sort.Slice(wantS, func(x, y int) bool { return wantS[x] < wantS[y] })
+		got := Merge3(FromSorted(b), FromSorted(i), FromSorted(d))
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, wantS) {
+			t.Fatalf("iter %d: Merge3(%v,%v,%v) = %v, want %v", iter, b, i, d, got, wantS)
+		}
+	}
+}

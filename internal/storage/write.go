@@ -25,17 +25,44 @@ import (
 // which is what makes snapshot → restore → re-snapshot byte-identity
 // testable.
 func Write(dir string, snap *Snapshot) (*Catalog, error) {
+	return WriteIncremental(dir, snap, nil)
+}
+
+// WriteIncremental is Write with segment reuse: relations whose epoch
+// equals their row in prev (the catalog a previous Write to the same
+// directory returned, or Open read from it) keep their existing
+// segment file — the new catalog references it verbatim and the trie is
+// not re-serialized. Epochs are only meaningful within one engine
+// lifetime (restores adopt them, mutations strictly advance them), so
+// callers must pass a prev catalog they themselves wrote to or restored
+// from this directory; a foreign catalog could alias unrelated content
+// behind a coincidentally equal epoch.
+func WriteIncremental(dir string, snap *Snapshot, prev *Catalog) (*Catalog, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	rels := append([]Relation(nil), snap.Relations...)
 	sort.Slice(rels, func(i, j int) bool { return rels[i].Name < rels[j].Name })
 
+	prevRels := map[string]RelationMeta{}
+	if prev != nil {
+		for _, rm := range prev.Relations {
+			prevRels[rm.Name] = rm
+		}
+	}
+
 	cat := &Catalog{FormatVersion: FormatVersion, DictEpoch: snap.DictEpoch}
 	written := map[string]bool{CatalogFile: true}
 	for i, rel := range rels {
 		if rel.Trie == nil {
 			return nil, fmt.Errorf("storage: relation %s has no trie", rel.Name)
+		}
+		if pm, ok := prevRels[rel.Name]; ok && pm.Epoch == rel.Epoch && segmentIntact(dir, pm.Segment, pm.Bytes) {
+			// Epoch unchanged since the prev catalog: the relation was
+			// not replaced, so its segment bytes are still its state.
+			written[pm.Segment] = true
+			cat.Relations = append(cat.Relations, pm)
+			continue
 		}
 		payload := rel.Trie.AppendTo(nil)
 		crc := Checksum(payload)
@@ -56,7 +83,12 @@ func Write(dir string, snap *Snapshot) (*Catalog, error) {
 			Checksum:    crc,
 		})
 	}
-	if snap.Dict != nil {
+	if snap.Dict != nil && prev != nil && prev.Dict != nil &&
+		prev.DictEpoch == snap.DictEpoch && prev.Dict.Count == snap.Dict.Len() &&
+		segmentIntact(dir, prev.Dict.Segment, prev.Dict.Bytes) {
+		written[prev.Dict.Segment] = true
+		cat.Dict = prev.Dict
+	} else if snap.Dict != nil {
 		origs := snap.Dict.Origs()
 		payload := make([]byte, 0, 8+8*len(origs))
 		payload = binary.LittleEndian.AppendUint64(payload, uint64(len(origs)))
@@ -82,6 +114,15 @@ func Write(dir string, snap *Snapshot) (*Catalog, error) {
 	}
 	removeStaleSegments(dir, written)
 	return cat, nil
+}
+
+// segmentIntact reports whether a reusable segment file is present with
+// the expected payload size. Content integrity is already pinned by the
+// name-embedded checksum discipline (a segment is never overwritten
+// with different bytes) and verified again at restore.
+func segmentIntact(dir, name string, payloadBytes int64) bool {
+	st, err := os.Stat(filepath.Join(dir, name))
+	return err == nil && st.Size() == payloadBytes+int64(len(segMagic))
 }
 
 // writeSegment writes magic + payload atomically (temp file + rename).

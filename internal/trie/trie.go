@@ -86,6 +86,13 @@ type Trie struct {
 	Scalar float64
 }
 
+// NewEmpty builds an empty relation of the given arity — the identity
+// base for delta overlays (an insert-only overlay over NewEmpty is the
+// relation itself) and the tombstone trie of a fresh overlay.
+func NewEmpty(arity int, annotated bool, op semiring.Op) *Trie {
+	return &Trie{Arity: arity, Annotated: annotated, Op: op, Root: &Node{}}
+}
+
 // NewScalar builds a zero-arity annotated relation (a single semiring value).
 func NewScalar(v float64, op semiring.Op) *Trie {
 	return &Trie{Arity: 0, Annotated: true, Op: op, Scalar: v}

@@ -1,0 +1,41 @@
+package wal
+
+import (
+	"math/rand"
+	"testing"
+
+	"emptyheaded/internal/semiring"
+)
+
+func benchRecord(rng *rand.Rand, rows int) *Record {
+	ins := [][]uint32{make([]uint32, rows), make([]uint32, rows)}
+	for i := 0; i < rows; i++ {
+		ins[0][i] = rng.Uint32()
+		ins[1][i] = rng.Uint32()
+	}
+	return &Record{Rel: "Edge", Arity: 2, Op: semiring.None, InsCols: ins}
+}
+
+func benchAppend(b *testing.B, policy SyncPolicy) {
+	l, _, err := Open(Options{Dir: b.TempDir(), Sync: policy}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rng := rand.New(rand.NewSource(1))
+	rec := benchRecord(rng, 100)
+	b.SetBytes(int64(100 * 2 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppendFsyncAlways measures the durable-per-batch append
+// path (write + fsync per 100-row record).
+func BenchmarkWALAppendFsyncAlways(b *testing.B) { benchAppend(b, SyncAlways) }
+
+// BenchmarkWALAppendFsyncOff measures the raw framing+write path.
+func BenchmarkWALAppendFsyncOff(b *testing.B) { benchAppend(b, SyncOff) }

@@ -1,0 +1,222 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"emptyheaded/internal/semiring"
+)
+
+// Record is one durable update batch: per-relation columnar inserts
+// (optionally annotated) and full-tuple deletes. Records are the unit
+// of atomicity — replay applies a record completely or not at all — and
+// the unit of ordering: Seq is assigned by the log at append time, so
+// replay re-executes concurrent updates in the one serialized order the
+// engine chose (the WAL pins down a single admissible order, which is
+// what makes recovery deterministic).
+type Record struct {
+	// Seq is the log sequence number (assigned by Log.Append).
+	Seq uint64
+	// Rel names the target relation.
+	Rel string
+	// Arity is the relation's key-attribute count.
+	Arity int
+	// Op is the relation's semiring (None for un-annotated relations).
+	Op semiring.Op
+	// InsCols holds inserted tuples column-wise (InsCols[i] is attribute
+	// i of every inserted row); nil or empty when the batch only deletes.
+	InsCols [][]uint32
+	// InsAnns holds per-row insert annotations; nil iff un-annotated.
+	InsAnns []float64
+	// DelCols holds deleted tuples column-wise.
+	DelCols [][]uint32
+}
+
+// InsRows returns the number of inserted rows.
+func (r *Record) InsRows() int {
+	if len(r.InsCols) == 0 {
+		return 0
+	}
+	return len(r.InsCols[0])
+}
+
+// DelRows returns the number of deleted rows.
+func (r *Record) DelRows() int {
+	if len(r.DelCols) == 0 {
+		return 0
+	}
+	return len(r.DelCols[0])
+}
+
+// Annotated reports whether the record carries insert annotations.
+func (r *Record) Annotated() bool { return r.InsAnns != nil }
+
+const (
+	flagAnnotated = 1 << 0
+
+	// maxRecordBytes caps one record's payload (1 GiB): a corrupt length
+	// field must not drive a giant allocation during replay.
+	maxRecordBytes = 1 << 30
+	// maxRelName caps the relation-name field.
+	maxRelName = 1 << 16
+)
+
+// Validate checks the record's internal consistency before encoding.
+func (r *Record) Validate() error {
+	if r.Rel == "" {
+		return fmt.Errorf("wal: record without relation name")
+	}
+	if len(r.Rel) >= maxRelName {
+		return fmt.Errorf("wal: relation name %d bytes", len(r.Rel))
+	}
+	if r.Arity <= 0 || r.Arity > 255 {
+		return fmt.Errorf("wal: record arity %d", r.Arity)
+	}
+	if len(r.InsCols) != 0 && len(r.InsCols) != r.Arity {
+		return fmt.Errorf("wal: %d insert columns for arity %d", len(r.InsCols), r.Arity)
+	}
+	if len(r.DelCols) != 0 && len(r.DelCols) != r.Arity {
+		return fmt.Errorf("wal: %d delete columns for arity %d", len(r.DelCols), r.Arity)
+	}
+	n := -1
+	for _, c := range r.InsCols {
+		if n < 0 {
+			n = len(c)
+		} else if len(c) != n {
+			return fmt.Errorf("wal: ragged insert columns (%d vs %d rows)", len(c), n)
+		}
+	}
+	if r.InsAnns != nil && n >= 0 && len(r.InsAnns) != n {
+		return fmt.Errorf("wal: %d insert rows, %d annotations", n, len(r.InsAnns))
+	}
+	m := -1
+	for _, c := range r.DelCols {
+		if m < 0 {
+			m = len(c)
+		} else if len(c) != m {
+			return fmt.Errorf("wal: ragged delete columns (%d vs %d rows)", len(c), m)
+		}
+	}
+	if r.InsRows() == 0 && r.DelRows() == 0 {
+		return fmt.Errorf("wal: empty record")
+	}
+	// An acknowledged record larger than the replay scanner accepts
+	// would be classified as a torn tail on boot and silently discarded
+	// (together with everything after it) — reject it up front instead.
+	size := int64(14+len(r.Rel)) + 4*int64(r.Arity)*int64(r.InsRows()+r.DelRows())
+	if r.InsAnns != nil {
+		size += 8 * int64(r.InsRows())
+	}
+	if size > maxRecordBytes {
+		return fmt.Errorf("wal: record payload %d bytes exceeds the %d limit; split the batch", size, maxRecordBytes)
+	}
+	return nil
+}
+
+// appendPayload encodes the record body (everything the frame checksums):
+//
+//	uint64  seq
+//	uint8   flags (bit 0: annotated)
+//	uint8   arity
+//	uint8   op
+//	uint8   reserved (0)
+//	uint16  len(rel) | rel bytes
+//	uint32  nIns
+//	uint32  nDel
+//	arity × nIns uint32   insert columns, column-major
+//	nIns × float64        insert annotations (annotated only)
+//	arity × nDel uint32   delete columns, column-major
+func (r *Record) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+	flags := byte(0)
+	if r.Annotated() {
+		flags |= flagAnnotated
+	}
+	dst = append(dst, flags, byte(r.Arity), byte(r.Op), 0)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Rel)))
+	dst = append(dst, r.Rel...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.InsRows()))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.DelRows()))
+	for _, col := range r.InsCols {
+		for _, v := range col {
+			dst = binary.LittleEndian.AppendUint32(dst, v)
+		}
+	}
+	if r.Annotated() {
+		for _, a := range r.InsAnns {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a))
+		}
+	}
+	for _, col := range r.DelCols {
+		for _, v := range col {
+			dst = binary.LittleEndian.AppendUint32(dst, v)
+		}
+	}
+	return dst
+}
+
+// decodeRecord parses one payload. Every length is validated against
+// the remaining bytes, so a corrupt (but checksum-colliding) payload
+// fails decode instead of panicking.
+func decodeRecord(payload []byte) (*Record, error) {
+	r := &Record{}
+	if len(payload) < 8+4+2 {
+		return nil, fmt.Errorf("wal: payload %d bytes, below fixed header", len(payload))
+	}
+	r.Seq = binary.LittleEndian.Uint64(payload)
+	flags := payload[8]
+	r.Arity = int(payload[9])
+	r.Op = semiring.Op(payload[10])
+	relLen := int(binary.LittleEndian.Uint16(payload[12:]))
+	p := payload[14:]
+	if r.Arity == 0 {
+		return nil, fmt.Errorf("wal: zero arity")
+	}
+	if len(p) < relLen+8 {
+		return nil, fmt.Errorf("wal: truncated relation name")
+	}
+	r.Rel = string(p[:relLen])
+	p = p[relLen:]
+	nIns := int(binary.LittleEndian.Uint32(p))
+	nDel := int(binary.LittleEndian.Uint32(p[4:]))
+	p = p[8:]
+
+	annotated := flags&flagAnnotated != 0
+	need := r.Arity*nIns*4 + r.Arity*nDel*4
+	if annotated {
+		need += nIns * 8
+	}
+	if len(p) != need {
+		return nil, fmt.Errorf("wal: body %d bytes, want %d", len(p), need)
+	}
+	readCols := func(n int) [][]uint32 {
+		if n == 0 {
+			return nil
+		}
+		cols := make([][]uint32, r.Arity)
+		for c := range cols {
+			col := make([]uint32, n)
+			for i := range col {
+				col[i] = binary.LittleEndian.Uint32(p)
+				p = p[4:]
+			}
+			cols[c] = col
+		}
+		return cols
+	}
+	r.InsCols = readCols(nIns)
+	if annotated {
+		anns := make([]float64, nIns)
+		for i := range anns {
+			anns[i] = math.Float64frombits(binary.LittleEndian.Uint64(p))
+			p = p[8:]
+		}
+		r.InsAnns = anns
+	}
+	r.DelCols = readCols(nDel)
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,521 @@
+// Package wal is EmptyHeaded's write-ahead log: an append-only,
+// checksummed, length-framed record log of per-relation insert/delete
+// batches, the durability layer between snapshots. Updates append a
+// Record (columnar payload) before they apply in memory; on boot the
+// log replays on top of the latest snapshot; after a successful
+// snapshot the segments it covers are truncated away.
+//
+// The log is a directory of numbered segment files:
+//
+//	wal-00000001.log    8-byte magic, then length-framed records
+//	wal-00000002.log    … (a new segment starts at every snapshot)
+//
+// Each record is framed as
+//
+//	uint32 payloadLen | uint32 crc32c(payload) | payload
+//
+// so replay can detect a torn tail precisely: it accepts the longest
+// prefix of records whose frames are complete and whose checksums
+// match, truncates the file there, and resumes appending — an
+// acknowledged batch (fsync=always) is never lost, and a half-written
+// one is never half-applied.
+//
+// Fsync policy is configurable: SyncAlways fsyncs before every append
+// returns (each acknowledged record survives power loss), SyncInterval
+// fsyncs on a background ticker (bounded data loss, much higher
+// throughput), SyncOff leaves flushing to the OS.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// segMagic is the 8-byte segment file header.
+	segMagic = "EHWALv1\n"
+	// segPrefix/segSuffix frame segment file names: wal-%08d.log.
+	segPrefix = "wal-"
+	segSuffix = ".log"
+
+	frameBytes = 8 // uint32 len + uint32 crc
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways fsyncs before every Append returns.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker (see Options.SyncInterval).
+	SyncInterval
+	// SyncOff never fsyncs explicitly (the OS flushes when it pleases).
+	SyncOff
+)
+
+// ParseSyncPolicy maps flag spellings to policies.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off", "none":
+		return SyncOff, nil
+	}
+	return SyncAlways, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or off)", s)
+}
+
+// String returns the flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", uint8(p))
+}
+
+// Options configures a log.
+type Options struct {
+	// Dir is the segment directory (created if absent).
+	Dir string
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval paces SyncInterval flushes (default 50ms).
+	SyncInterval time.Duration
+}
+
+// ReplayInfo reports what Open recovered.
+type ReplayInfo struct {
+	// Segments is the number of segment files scanned.
+	Segments int
+	// Records / Rows / Bytes count the replayed records, their
+	// insert+delete rows, and their payload bytes.
+	Records int
+	Rows    int64
+	Bytes   int64
+	// Truncated reports that the final segment carried a torn or corrupt
+	// tail, which was cut back to the last valid record boundary.
+	Truncated bool
+	// Duration is the wall time of the replay scan (decode + apply).
+	Duration time.Duration
+}
+
+// Stats is a point-in-time counter snapshot for metrics.
+type Stats struct {
+	// Enabled distinguishes a live log from the zero Stats.
+	Enabled bool `json:"enabled"`
+	// Segments is the number of live segment files.
+	Segments int `json:"segments"`
+	// Seq is the last assigned sequence number.
+	Seq uint64 `json:"seq"`
+	// Records / Bytes count appends since open (payload bytes).
+	Records uint64 `json:"records"`
+	Bytes   uint64 `json:"bytes"`
+	// Fsyncs / FsyncNanos count explicit fsyncs and their total latency.
+	Fsyncs     uint64 `json:"fsyncs"`
+	FsyncNanos uint64 `json:"fsync_nanos"`
+	// Policy is the configured fsync policy.
+	Policy string `json:"policy"`
+}
+
+// Log is an open write-ahead log. Append/Rotate/TruncateThrough/Close
+// are safe for concurrent use (the engine additionally serializes
+// Append to pin the record order to the apply order).
+type Log struct {
+	opts Options
+
+	mu    sync.Mutex
+	f     *os.File
+	gen   uint64 // current segment generation
+	seq   uint64 // last assigned record sequence
+	size  int64  // committed byte length of the current segment
+	dirty bool   // bytes written since the last fsync
+
+	records    atomic.Uint64
+	bytes      atomic.Uint64
+	fsyncs     atomic.Uint64
+	fsyncNanos atomic.Uint64
+
+	closeOnce sync.Once
+	stopSync  chan struct{}
+	syncDone  chan struct{}
+}
+
+// Open recovers the log in opts.Dir: every segment is scanned in
+// generation order, each valid record is handed to apply (in sequence
+// order), a torn tail on the final segment is truncated away, and the
+// log opens for appending. A nil apply just validates and positions.
+//
+// Corruption anywhere except the final segment's tail is returned as an
+// error — records beyond a damaged middle segment were acknowledged
+// after it, and silently skipping them would reorder recovery.
+func Open(opts Options, apply func(*Record) error) (*Log, *ReplayInfo, error) {
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("wal: no directory")
+	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = 50 * time.Millisecond
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	gens, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l := &Log{opts: opts}
+	info := &ReplayInfo{}
+	t0 := time.Now()
+	for i, gen := range gens {
+		last := i == len(gens)-1
+		if err := l.replaySegment(gen, last, apply, info); err != nil {
+			return nil, nil, err
+		}
+	}
+	info.Segments = len(gens)
+	info.Duration = time.Since(t0)
+
+	// Open (or create) the tail segment for appending.
+	if len(gens) == 0 {
+		if err := l.createSegment(1); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		tail := segPath(opts.Dir, gens[len(gens)-1])
+		f, err := os.OpenFile(tail, os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.f = f
+		l.gen = gens[len(gens)-1]
+		l.size = st.Size()
+	}
+
+	if opts.Sync == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, info, nil
+}
+
+func segPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", segPrefix, gen, segSuffix))
+}
+
+// listSegments returns the segment generations in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		var gen uint64
+		if _, err := fmt.Sscanf(name, segPrefix+"%d"+segSuffix, &gen); err != nil || gen == 0 {
+			continue
+		}
+		gens = append(gens, gen)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// replaySegment scans one segment. On the final segment, damage
+// truncates; on earlier segments, damage is an error.
+func (l *Log) replaySegment(gen uint64, isLast bool, apply func(*Record) error, info *ReplayInfo) error {
+	path := segPath(l.opts.Dir, gen)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	truncateTo := func(off int) error {
+		info.Truncated = true
+		return os.Truncate(path, int64(off))
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		if !isLast {
+			return fmt.Errorf("wal: %s: bad segment magic", path)
+		}
+		// Torn segment creation: rewrite the header, keep nothing.
+		if err := os.WriteFile(path, []byte(segMagic), 0o644); err != nil {
+			return err
+		}
+		if len(data) > 0 {
+			info.Truncated = true
+		}
+		return nil
+	}
+	off := len(segMagic)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return nil // clean end
+		}
+		if len(rest) < frameBytes {
+			break // torn frame header
+		}
+		plen := int(binary.LittleEndian.Uint32(rest))
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if plen <= 0 || plen > maxRecordBytes || len(rest) < frameBytes+plen {
+			break // absurd or truncated length
+		}
+		payload := rest[frameBytes : frameBytes+plen]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break // corrupt payload
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			break // checksum collided with garbage; treat as corruption
+		}
+		if apply != nil {
+			if err := apply(rec); err != nil {
+				return fmt.Errorf("wal: replay record seq %d: %w", rec.Seq, err)
+			}
+		}
+		if rec.Seq > l.seq {
+			l.seq = rec.Seq
+		}
+		info.Records++
+		info.Rows += int64(rec.InsRows() + rec.DelRows())
+		info.Bytes += int64(plen)
+		off += frameBytes + plen
+	}
+	if !isLast {
+		return fmt.Errorf("wal: %s: corrupt record at offset %d (not the final segment; refusing to skip)", path, off)
+	}
+	return truncateTo(off)
+}
+
+func (l *Log) createSegment(gen uint64) error {
+	f, err := os.OpenFile(segPath(l.opts.Dir, gen), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.gen = gen
+	l.size = int64(len(segMagic))
+	return nil
+}
+
+// Append assigns the record its sequence number, writes one frame, and
+// applies the fsync policy. It returns the assigned sequence.
+func (l *Log) Append(rec *Record) (uint64, error) {
+	if err := rec.Validate(); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	l.seq++
+	rec.Seq = l.seq
+
+	payload := rec.appendPayload(make([]byte, frameBytes, frameBytes+256))
+	body := payload[frameBytes:]
+	binary.LittleEndian.PutUint32(payload, uint32(len(body)))
+	binary.LittleEndian.PutUint32(payload[4:], crc32.Checksum(body, castagnoli))
+	if n, err := l.f.Write(payload); err != nil {
+		l.seq--
+		// A short write leaves a torn frame mid-segment; a later
+		// successful append after it would be masked at replay (the scan
+		// stops at the first bad frame), silently discarding an
+		// acknowledged record. Cut the file back to the last committed
+		// boundary; if even that fails, poison the log — refusing further
+		// appends is strictly safer than acknowledging unrecoverable ones.
+		if n > 0 {
+			if terr := l.f.Truncate(l.size); terr != nil {
+				l.f.Close()
+				l.f = nil
+				return 0, fmt.Errorf("wal: %v; truncate after short write failed: %w", err, terr)
+			}
+		}
+		return 0, err
+	}
+	l.size += int64(len(payload))
+	l.records.Add(1)
+	l.bytes.Add(uint64(len(body)))
+	l.dirty = true
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			// The caller will report the batch as NOT applied, so the
+			// record must not survive to replay: roll the segment back to
+			// the pre-record boundary (poisoning the log if even that
+			// fails). The write may or may not have reached the platter —
+			// truncating removes both possibilities from future boots.
+			l.seq--
+			l.size -= int64(len(payload))
+			l.records.Add(^uint64(0))
+			l.bytes.Add(^uint64(uint64(len(body)) - 1))
+			if terr := l.f.Truncate(l.size); terr != nil {
+				l.f.Close()
+				l.f = nil
+				return 0, fmt.Errorf("wal: fsync: %v; rollback truncate failed: %w", err, terr)
+			}
+			return 0, err
+		}
+	}
+	return l.seq, nil
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty || l.f == nil {
+		return nil
+	}
+	t0 := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	l.fsyncNanos.Add(uint64(time.Since(t0)))
+	l.dirty = false
+	return nil
+}
+
+// Sync forces buffered appends to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.Sync()
+		case <-l.stopSync:
+			return
+		}
+	}
+}
+
+// Rotate fsyncs and closes the current segment and starts the next
+// one, returning the generation just sealed. Snapshots call it inside
+// the update mutex: records at or below the returned generation are in
+// the snapshot's fork; after the snapshot commits, TruncateThrough
+// removes them.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if err := l.syncLocked(); err != nil {
+		return 0, err
+	}
+	if err := l.f.Close(); err != nil {
+		return 0, err
+	}
+	sealed := l.gen
+	l.f = nil
+	if err := l.createSegment(sealed + 1); err != nil {
+		return 0, err
+	}
+	return sealed, nil
+}
+
+// TruncateThrough removes segments with generation <= gen (never the
+// current one). Call it only after the covering snapshot has committed.
+func (l *Log) TruncateThrough(gen uint64) error {
+	l.mu.Lock()
+	cur := l.gen
+	l.mu.Unlock()
+	gens, err := listSegments(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	var first error
+	for _, g := range gens {
+		if g <= gen && g != cur {
+			if err := os.Remove(segPath(l.opts.Dir, g)); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Seq returns the last assigned sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// StatsSnapshot returns current counters.
+func (l *Log) StatsSnapshot() Stats {
+	gens, _ := listSegments(l.opts.Dir)
+	l.mu.Lock()
+	seq := l.seq
+	l.mu.Unlock()
+	return Stats{
+		Enabled:    true,
+		Segments:   len(gens),
+		Seq:        seq,
+		Records:    l.records.Load(),
+		Bytes:      l.bytes.Load(),
+		Fsyncs:     l.fsyncs.Load(),
+		FsyncNanos: l.fsyncNanos.Load(),
+		Policy:     l.opts.Sync.String(),
+	}
+}
+
+// Close fsyncs and closes the log. Further Appends fail.
+func (l *Log) Close() error {
+	var err error
+	l.closeOnce.Do(func() {
+		if l.stopSync != nil {
+			close(l.stopSync)
+			<-l.syncDone
+		}
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.f == nil {
+			return
+		}
+		err = l.syncLocked()
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
+	})
+	return err
+}

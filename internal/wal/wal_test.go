@@ -1,0 +1,211 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"emptyheaded/internal/semiring"
+)
+
+func testRecord(rel string, n int) *Record {
+	ins := [][]uint32{make([]uint32, n), make([]uint32, n)}
+	for i := 0; i < n; i++ {
+		ins[0][i] = uint32(i)
+		ins[1][i] = uint32(i * 7)
+	}
+	return &Record{Rel: rel, Arity: 2, Op: semiring.None, InsCols: ins}
+}
+
+func collect(t *testing.T, dir string) ([]*Record, *ReplayInfo) {
+	t.Helper()
+	var got []*Record
+	l, info, err := Open(Options{Dir: dir, Sync: SyncOff}, func(r *Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	return got, info
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, info, err := Open(Options{Dir: dir, Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 0 || info.Segments != 0 {
+		t.Fatalf("fresh log replayed %+v", info)
+	}
+	recs := []*Record{
+		testRecord("Edge", 3),
+		{Rel: "W", Arity: 1, Op: semiring.Sum, InsCols: [][]uint32{{5, 6}}, InsAnns: []float64{0.5, -2}},
+		{Rel: "Edge", Arity: 2, Op: semiring.None, DelCols: [][]uint32{{1}, {7}}},
+		{Rel: "Edge", Arity: 2, Op: semiring.None,
+			InsCols: [][]uint32{{9}, {9}}, DelCols: [][]uint32{{0, 2}, {0, 14}}},
+	}
+	for i, r := range recs {
+		seq, err := l.Append(r)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d", i, seq)
+		}
+	}
+	st := l.StatsSnapshot()
+	if st.Records != 4 || st.Fsyncs < 4 || st.Seq != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(testRecord("Edge", 1)); err == nil {
+		t.Fatal("append after close should fail")
+	}
+
+	got, info := collect(t, dir)
+	if info.Truncated || info.Records != 4 || info.Segments != 1 {
+		t.Fatalf("replay info %+v", info)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range recs {
+		if !reflect.DeepEqual(got[i], r) {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], r)
+		}
+	}
+}
+
+func TestRotateAndTruncateThrough(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(testRecord("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed != 1 {
+		t.Fatalf("sealed gen %d, want 1", sealed)
+	}
+	if _, err := l.Append(testRecord("B", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Replay spans both segments in order, seq continues.
+	l.Close()
+	got, info := collect(t, dir)
+	if info.Segments != 2 || len(got) != 2 || got[0].Rel != "A" || got[1].Rel != "B" || got[1].Seq != 2 {
+		t.Fatalf("cross-segment replay: info %+v, records %+v", info, got)
+	}
+
+	l, _, err = Open(Options{Dir: dir, Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.TruncateThrough(sealed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(segPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("sealed segment should be removed: %v", err)
+	}
+	// The current segment survives even if its gen is <= the target.
+	if err := l.TruncateThrough(99); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(segPath(dir, 2)); err != nil {
+		t.Fatalf("current segment must survive truncation: %v", err)
+	}
+	got2, _ := func() ([]*Record, *ReplayInfo) { l.Close(); return collect(t, dir) }()
+	if len(got2) != 1 || got2[0].Rel != "B" {
+		t.Fatalf("post-truncate replay %+v", got2)
+	}
+}
+
+func TestSyncIntervalFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, Sync: SyncInterval, SyncInterval: 5 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(testRecord("Edge", 2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.StatsSnapshot().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval sync never fired")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	l.Close()
+}
+
+func TestCorruptMiddleSegmentRefusesReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(testRecord("A", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(testRecord("B", 4)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Flip a payload byte in the sealed (non-final) segment.
+	p := segPath(dir, 1)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Options{Dir: dir, Sync: SyncOff}, nil); err == nil {
+		t.Fatal("corrupt middle segment should fail replay")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "off": SyncOff, "none": SyncOff} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy should error")
+	}
+}
+
+func TestSegmentNameRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	// Unrelated files are ignored.
+	os.WriteFile(filepath.Join(dir, "wal-junk.log"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644)
+	l, info, err := Open(Options{Dir: dir, Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if info.Segments != 0 {
+		t.Fatalf("segments %d, want 0", info.Segments)
+	}
+}
