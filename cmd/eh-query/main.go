@@ -2,10 +2,13 @@
 //
 // Usage:
 //
-//	eh-query -graph edges.txt [-directed] [-explain] [-limit 20] 'TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.'
+//	eh-query -graph edges.txt [-directed] [-explain] [-analyze] [-limit 20] 'TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.'
 //
 // The graph is registered as the relation Edge (undirected by default:
-// each edge is loaded in both directions).
+// each edge is loaded in both directions). -explain prints the physical
+// plan without running; -analyze runs the query with live kernel
+// counters and prints the plan annotated with actuals (EXPLAIN ANALYZE)
+// before the results.
 package main
 
 import (
@@ -21,6 +24,7 @@ func main() {
 	graphPath := flag.String("graph", "", "edge list file (src dst per line)")
 	directed := flag.Bool("directed", false, "load edges as directed")
 	explain := flag.Bool("explain", false, "print the physical plan instead of running")
+	analyze := flag.Bool("analyze", false, "run with live kernel counters and print the plan annotated with actuals")
 	limit := flag.Int("limit", 20, "max result tuples to print")
 	flag.Parse()
 
@@ -49,9 +53,24 @@ func main() {
 		return
 	}
 	t0 := time.Now()
-	res, err := eng.Run(query)
-	if err != nil {
-		fatal(err)
+	var res *emptyheaded.Result
+	if *analyze {
+		var annotated string
+		res, annotated, err = eng.RunAnalyze(query)
+		if err != nil {
+			fatal(err)
+		}
+		if annotated == "" {
+			fmt.Println("(no pinned plan: multi-rule or recursive program, counters unavailable)")
+		} else {
+			fmt.Print(annotated)
+			fmt.Println()
+		}
+	} else {
+		res, err = eng.Run(query)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	elapsed := time.Since(t0)
 	if res.Trie.Arity == 0 {

@@ -10,6 +10,12 @@
 // on top of the -data-dir snapshot, and a successful snapshot truncates
 // the segments it absorbed.
 //
+// Every request is traced through its lifecycle phases; /metrics serves
+// latency histograms, /debug/queries lists recent traces, and
+// -slow-query-ms enables a structured slow-query log (see
+// docs/OBSERVABILITY.md). -pprof-addr serves net/http/pprof on a
+// separate listener, off by default.
+//
 // Usage:
 //
 //	eh-server -addr :8080 -graph edges.txt                # serve an edge list as Edge
@@ -30,8 +36,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,6 +72,10 @@ func main() {
 	planCache := flag.Int("plan-cache", 256, "plan cache entries")
 	resultCache := flag.Int("result-cache", 128, "result cache entries")
 	timeout := flag.Duration("query-timeout", 0, "per-query execution timeout (0 = none)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (e.g. 127.0.0.1:6060; empty = disabled)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log requests slower than this many milliseconds as JSON lines (0 = disabled)")
+	slowQueryLog := flag.String("slow-query-log", "", "slow-query log file, appended (default stderr)")
+	traceRing := flag.Int("trace-ring", 0, "completed request traces retained for /debug/queries (0 = default 128)")
 	flag.Parse()
 
 	eng := core.New()
@@ -131,15 +143,45 @@ func main() {
 		log.Printf("eh-server: relation %s arity=%d cardinality=%d", ri.Name, ri.Arity, ri.Cardinality)
 	}
 
+	var slowW io.Writer
+	if *slowQueryMS > 0 && *slowQueryLog != "" {
+		f, err := os.OpenFile(*slowQueryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(fmt.Errorf("slow-query log %s: %w", *slowQueryLog, err))
+		}
+		defer f.Close()
+		slowW = f
+	}
 	s := server.New(eng, server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		QueueWait:       *queueWait,
-		PlanCacheSize:   *planCache,
-		ResultCacheSize: *resultCache,
-		DataDir:         *dataDir,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		QueueWait:          *queueWait,
+		PlanCacheSize:      *planCache,
+		ResultCacheSize:    *resultCache,
+		DataDir:            *dataDir,
+		TraceRing:          *traceRing,
+		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
+		SlowQueryLog:       slowW,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	// Profiling stays off the serving listener: enabling it never
+	// exposes pprof to query clients, and a wedged worker pool can't
+	// starve the endpoints needed to debug it.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("eh-server: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("eh-server: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	// SIGTERM/SIGINT: stop accepting requests, drain in-flight ones, then
 	// snapshot to -data-dir so the next boot restores instead of

@@ -148,6 +148,13 @@ func (e *Engine) Run(query string) (*Result, error) { return e.c.Run(query) }
 // global attribute order, and the generated loop nest (Figure 1).
 func (e *Engine) Explain(query string) (string, error) { return e.c.Explain(query) }
 
+// RunAnalyze executes a query with live kernel counters enabled and
+// returns the result together with the plan annotated with actuals —
+// per-level intersection counts, input/output cardinalities, and wall
+// time per bag (EXPLAIN ANALYZE). Multi-rule and recursive programs run
+// without a pinned plan and return an empty annotation.
+func (e *Engine) RunAnalyze(query string) (*Result, string, error) { return e.c.RunAnalyze(query) }
+
 // Insert streams tuples into a relation without rebuilding its trie:
 // the rows land in the relation's delta overlay and queries see the
 // merged view immediately (see docs/DURABILITY.md). A relation that

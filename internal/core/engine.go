@@ -199,6 +199,31 @@ func (e *Engine) Run(query string) (*exec.Result, error) {
 	return exec.RunProgram(e.DB, prog, e.Opts)
 }
 
+// RunAnalyze executes a query with the EXPLAIN ANALYZE counters enabled
+// and returns the result together with the physical plan annotated with
+// actuals (per-level intersection counts, cardinalities, wall time; see
+// exec.Plan.ExplainAnalyze). Multi-rule and recursive programs execute
+// without a pinned plan and return an empty annotation.
+func (e *Engine) RunAnalyze(query string) (*exec.Result, string, error) {
+	prog, err := datalog.Parse(query)
+	if err != nil {
+		return nil, "", err
+	}
+	pr, err := exec.Prepare(e.DB, prog, e.Opts)
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := pr.RunWith(e.DB, exec.RunParams{Limit: e.Opts.Limit, Collect: true})
+	if err != nil {
+		return nil, "", err
+	}
+	var text string
+	if res.Plan != nil && res.Stats != nil {
+		text = res.Plan.ExplainAnalyze(res.Stats)
+	}
+	return res, text, nil
+}
+
 // RunIsolated executes an already parsed program against a fork of the
 // database: intermediate and final head relations stay session-local, so
 // any number of RunIsolated calls may proceed concurrently with each

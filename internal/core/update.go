@@ -12,6 +12,7 @@ import (
 	"emptyheaded/internal/delta"
 	"emptyheaded/internal/exec"
 	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/trace"
 	"emptyheaded/internal/trie"
 	"emptyheaded/internal/wal"
 )
@@ -68,6 +69,32 @@ type updState struct {
 	updateRows  atomic.Uint64
 	compactions atomic.Uint64
 	compactNS   atomic.Uint64
+
+	// obs holds the latency observers wired by the serving layer
+	// (histograms); both optional.
+	obs Observers
+}
+
+// Observers are latency-event callbacks the serving layer installs to
+// feed its histograms without coupling core to a metrics package. All
+// fields are optional; callbacks must be cheap and non-blocking (they
+// run inside subsystem critical sections).
+type Observers struct {
+	// WALFsync receives every WAL fsync's wall duration.
+	WALFsync func(time.Duration)
+	// Compaction receives every finished compaction's wall duration.
+	Compaction func(time.Duration)
+}
+
+// SetObservers installs latency observers. Call it once at startup;
+// installing after the WAL is open still takes effect.
+func (e *Engine) SetObservers(o Observers) {
+	e.upd.mu.Lock()
+	e.upd.obs = o
+	if e.upd.wal != nil {
+		e.upd.wal.SetFsyncObserver(o.WALFsync)
+	}
+	e.upd.mu.Unlock()
 }
 
 // relDelta is one relation's streaming-update state: the compacted base
@@ -79,7 +106,14 @@ type relDelta struct {
 	baseRel *exec.Relation
 	// baseCard caches the base's cardinality (the base is immutable);
 	// compaction thresholds and /stats read it without a trie walk.
-	baseCard   int
+	baseCard int
+	// card is the maintained cardinality of the installed merged view:
+	// updated incrementally per batch (O(batch × depth) membership
+	// probes), so acknowledging an update never re-walks the merged
+	// trie. Compaction leaves it untouched — folding is content-
+	// preserving — except the clean path, which re-anchors it to the
+	// compacted base's exact count.
+	card       int
 	ov         *delta.Overlay
 	installed  *trie.Trie
 	version    uint64
@@ -126,6 +160,14 @@ type UpdateResult struct {
 // Concurrent updates serialize; queries never block on updates (they
 // run on forks of immutable tries).
 func (e *Engine) Update(b UpdateBatch) (UpdateResult, error) {
+	return e.UpdateTraced(b, nil)
+}
+
+// UpdateTraced is Update with query-lifecycle tracing: the WAL append
+// (annotated with the fsyncs it absorbed and their wall time) and the
+// overlay apply record spans on tr. A nil tr is the untraced path —
+// every site degrades to a nil check.
+func (e *Engine) UpdateTraced(b UpdateBatch, tr *trace.Trace) (UpdateResult, error) {
 	e.upd.mu.Lock()
 	defer e.upd.mu.Unlock()
 	rec, err := e.recordForLocked(&b)
@@ -133,11 +175,19 @@ func (e *Engine) Update(b UpdateBatch) (UpdateResult, error) {
 		return UpdateResult{}, err
 	}
 	if e.upd.wal != nil {
-		if _, err := e.upd.wal.Append(rec); err != nil {
+		sp := tr.Begin("wal_append")
+		f0, n0 := e.upd.wal.FsyncTotals()
+		_, err := e.upd.wal.Append(rec)
+		if f1, n1 := e.upd.wal.FsyncTotals(); f1 > f0 {
+			tr.SpanAttrInt(sp, "fsyncs", int64(f1-f0))
+			tr.SpanAttrInt(sp, "fsync_us", int64((n1-n0)/1e3))
+		}
+		tr.End(sp)
+		if err != nil {
 			return UpdateResult{}, fmt.Errorf("%w: %w", ErrDurability, err)
 		}
 	}
-	res, err := e.applyRecordLocked(rec)
+	res, err := e.applyRecordLocked(rec, tr)
 	if err != nil {
 		return UpdateResult{}, err
 	}
@@ -267,6 +317,7 @@ func (e *Engine) deltaForLocked(rec *wal.Record) (*relDelta, error) {
 		ov:        delta.NewOverlay(rec.Arity, base.Annotated, base.Op),
 		installed: base,
 	}
+	rd.card = rd.baseCard
 	e.upd.deltas[rec.Rel] = rd
 	return rd, nil
 }
@@ -275,15 +326,41 @@ func (e *Engine) deltaForLocked(rec *wal.Record) (*relDelta, error) {
 // installs the merged view. The only failure mode is a shape conflict
 // with a relation that was concurrently replaced under a different
 // arity (recordForLocked validated against the catalog as of entry).
-func (e *Engine) applyRecordLocked(rec *wal.Record) (UpdateResult, error) {
+func (e *Engine) applyRecordLocked(rec *wal.Record, tr *trace.Trace) (UpdateResult, error) {
 	rd, err := e.deltaForLocked(rec)
 	if err != nil {
 		return UpdateResult{}, err
 	}
 	insT, delT := miniTries(rec, rd.baseRel, e.Opts.Layout)
+
+	// Maintain the merged cardinality against the pre-batch view:
+	// deletes apply first, so a delete counts iff the tuple was visible,
+	// and an insert counts iff it was absent or deleted by this batch.
+	// This replaces the full merged-trie walk the response used to pay.
+	sp := tr.Begin("cardinality")
+	prev := rd.installed
+	if delT != nil {
+		delT.ForEachTuple(func(tp []uint32, _ float64) {
+			if prev.Contains(tp) {
+				rd.card--
+			}
+		})
+	}
+	if insT != nil {
+		insT.ForEachTuple(func(tp []uint32, _ float64) {
+			if !prev.Contains(tp) || (delT != nil && delT.Contains(tp)) {
+				rd.card++
+			}
+		})
+	}
+	tr.End(sp)
+
+	sp = tr.Begin("overlay_merge")
 	rd.ov = rd.ov.Apply(insT, delT, e.Opts.Layout)
 	merged := delta.MergedView(rd.baseRel.Canonical(), rd.ov.Ins, rd.ov.Del, e.Opts.Layout)
 	e.DB.AddTrieOverlay(rec.Rel, merged, rd.baseRel, rd.ov.Ins, rd.ov.Del)
+	tr.SpanAttrInt(sp, "overlay_rows", int64(rd.ov.Rows()))
+	tr.End(sp)
 	rd.installed = merged
 	rd.version++
 	e.upd.updates.Add(1)
@@ -293,7 +370,7 @@ func (e *Engine) applyRecordLocked(rec *wal.Record) (UpdateResult, error) {
 		Seq:         rec.Seq,
 		Inserted:    rec.InsRows(),
 		Deleted:     rec.DelRows(),
-		Cardinality: merged.Cardinality(),
+		Cardinality: rd.card,
 		OverlayRows: rd.ov.Rows(),
 	}, nil
 }
@@ -405,6 +482,9 @@ func (e *Engine) Compact(name string) (bool, error) {
 		}
 		rd.baseRel = baseRel
 		rd.baseCard = compacted.Cardinality()
+		// Re-anchor the maintained count to the exact base cardinality;
+		// any accumulated drift (there should be none) resets here.
+		rd.card = rd.baseCard
 		rd.ov = delta.NewOverlay(compacted.Arity, compacted.Annotated, compacted.Op)
 		rd.installed = compacted
 	} else {
@@ -426,8 +506,12 @@ func (e *Engine) Compact(name string) (bool, error) {
 		rd.ov = ov
 		rd.installed = merged
 	}
+	dur := time.Since(t0)
 	e.upd.compactions.Add(1)
-	e.upd.compactNS.Add(uint64(time.Since(t0)))
+	e.upd.compactNS.Add(uint64(dur))
+	if e.upd.obs.Compaction != nil {
+		e.upd.obs.Compaction(dur)
+	}
 	return true, nil
 }
 
@@ -497,6 +581,9 @@ func (e *Engine) OpenWAL(cfg WALConfig) (ReplayStats, error) {
 	}
 	e.upd.wal = l
 	e.upd.walCfg = cfg
+	if e.upd.obs.WALFsync != nil {
+		l.SetFsyncObserver(e.upd.obs.WALFsync)
+	}
 	st := ReplayStats{
 		Segments:         info.Segments,
 		Records:          info.Records,
@@ -655,7 +742,7 @@ func (a *replayAcc) installLocked(e *Engine) (skipped int, err error) {
 		if rr.annotated && rec.InsAnns == nil {
 			rec.InsAnns = []float64{}
 		}
-		if _, err := e.applyRecordLocked(rec); err != nil {
+		if _, err := e.applyRecordLocked(rec, nil); err != nil {
 			skipped++
 			continue
 		}
@@ -670,6 +757,11 @@ type OverlayStat struct {
 	Rows int `json:"rows"`
 	// BaseRows is the compacted base's cardinality.
 	BaseRows int `json:"base_rows"`
+	// InsBytes / DelBytes are the estimated payload sizes of the insert
+	// and tombstone mini-tries (cached at overlay construction, so a
+	// scrape never walks them).
+	InsBytes int `json:"ins_bytes"`
+	DelBytes int `json:"del_bytes"`
 	// Compacting reports an in-flight background compaction.
 	Compacting bool `json:"compacting,omitempty"`
 }
@@ -706,10 +798,13 @@ func (e *Engine) Durability() DurabilityStats {
 		if rd.ov.IsEmpty() && !rd.compacting {
 			continue
 		}
+		insB, delB := rd.ov.MemBytes()
 		st.Overlays = append(st.Overlays, OverlayStat{
 			Relation:   name,
 			Rows:       rd.ov.Rows(),
 			BaseRows:   rd.baseCard,
+			InsBytes:   insB,
+			DelBytes:   delB,
 			Compacting: rd.compacting,
 		})
 	}

@@ -38,21 +38,33 @@ type Overlay struct {
 	Ins *trie.Trie
 	Del *trie.Trie
 	// rows caches Ins.Cardinality() + Del.Cardinality(), the overlay
-	// size that compaction thresholds and metrics read.
-	rows int
+	// size that compaction thresholds and metrics read. insBytes /
+	// delBytes cache the mini-tries' MemBytes the same way: overlays
+	// are immutable, so both are computed once at construction and
+	// /stats scrapes never walk the tries.
+	rows     int
+	insBytes int
+	delBytes int
 }
 
 // NewOverlay returns the empty overlay for a relation of the given
 // shape.
 func NewOverlay(arity int, annotated bool, op semiring.Op) *Overlay {
-	return &Overlay{
+	o := &Overlay{
 		Ins: trie.NewEmpty(arity, annotated, op),
 		Del: trie.NewEmpty(arity, false, semiring.None),
 	}
+	o.insBytes = o.Ins.MemBytes()
+	o.delBytes = o.Del.MemBytes()
+	return o
 }
 
 // Rows returns the number of live overlay tuples (inserts + tombstones).
 func (o *Overlay) Rows() int { return o.rows }
+
+// MemBytes returns the cached payload sizes of the insert and tombstone
+// mini-tries.
+func (o *Overlay) MemBytes() (ins, del int) { return o.insBytes, o.delBytes }
 
 // IsEmpty reports whether the overlay holds no pending updates.
 func (o *Overlay) IsEmpty() bool { return o.rows == 0 }
@@ -76,9 +88,11 @@ func (o *Overlay) Apply(ins, del *trie.Trie, layout trie.LayoutFunc) *Overlay {
 		newIns = Union(newIns, ins, true, layout)
 	}
 	return &Overlay{
-		Ins:  newIns,
-		Del:  newDel,
-		rows: newIns.Cardinality() + newDel.Cardinality(),
+		Ins:      newIns,
+		Del:      newDel,
+		rows:     newIns.Cardinality() + newDel.Cardinality(),
+		insBytes: newIns.MemBytes(),
+		delBytes: newDel.MemBytes(),
 	}
 }
 
@@ -166,7 +180,12 @@ func (o *Overlay) TrimAgainst(base *trie.Trie, layout trie.LayoutFunc) *Overlay 
 	}
 	ins := trie.FromColumns(insCols, insAnns, op, layout)
 	del := trie.FromColumns(delCols, nil, semiring.None, layout)
-	return &Overlay{Ins: ins, Del: del, rows: ins.Cardinality() + del.Cardinality()}
+	return &Overlay{
+		Ins: ins, Del: del,
+		rows:     ins.Cardinality() + del.Cardinality(),
+		insBytes: ins.MemBytes(),
+		delBytes: del.MemBytes(),
+	}
 }
 
 // lookupTuple descends base along one full tuple, returning the leaf

@@ -1,0 +1,35 @@
+package exec
+
+import (
+	"testing"
+)
+
+// Benchmarks for the bench-smoke CI job: triangle count and 2-path
+// listing, with and without the EXPLAIN ANALYZE collector. The Off
+// variants measure the default serving path (instrumentation behind nil
+// checks); the On variants bound the collector's cost.
+
+func benchAnalyze(b *testing.B, query string, collect bool) {
+	g := testGraph(2000, 40000, 13)
+	db := dbWithGraph(g)
+	pr := prepareQ(b, db, query)
+	if _, err := pr.RunWith(db.Fork(), RunParams{}); err != nil {
+		b.Fatal(err) // warm lazily built indexes
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.RunWith(db.Fork(), RunParams{Collect: collect}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const (
+	benchTriangleQ = `TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`
+	benchPath2Q    = `P(x,z) :- Edge(x,y),Edge(y,z).`
+)
+
+func BenchmarkTriangleAnalyzeOff(b *testing.B) { benchAnalyze(b, benchTriangleQ, false) }
+func BenchmarkTriangleAnalyzeOn(b *testing.B)  { benchAnalyze(b, benchTriangleQ, true) }
+func BenchmarkPath2AnalyzeOff(b *testing.B)    { benchAnalyze(b, benchPath2Q, false) }
+func BenchmarkPath2AnalyzeOn(b *testing.B)     { benchAnalyze(b, benchPath2Q, true) }

@@ -1,0 +1,236 @@
+package exec
+
+import (
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"emptyheaded/internal/datalog"
+	"emptyheaded/internal/trace"
+)
+
+func prepareQ(t testing.TB, db *DB, query string) *Prepared {
+	t.Helper()
+	prog, err := datalog.Parse(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pr, err := Prepare(db, prog, Options{})
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	return pr
+}
+
+func TestRunWithCollectTriangle(t *testing.T) {
+	g := testGraph(200, 1500, 11)
+	db := dbWithGraph(g)
+	pr := prepareQ(t, db, `TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
+
+	base, err := pr.Run(db.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats != nil {
+		t.Fatal("default run must not collect stats")
+	}
+
+	res, err := pr.RunWith(db.Fork(), RunParams{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar() != base.Scalar() {
+		t.Fatalf("collected run changed the result: %g vs %g", res.Scalar(), base.Scalar())
+	}
+	st := res.Stats
+	if st == nil || len(st.Bags) == 0 {
+		t.Fatalf("no stats collected: %+v", st)
+	}
+	bs := st.Bags[0]
+	if len(bs.Levels) != 3 {
+		t.Fatalf("triangle bag has %d levels, want 3", len(bs.Levels))
+	}
+	if bs.Levels[0].Attr != "x" || bs.Levels[1].Attr != "y" || bs.Levels[2].Attr != "z" {
+		t.Fatalf("level attrs = %v", bs.Levels)
+	}
+	if bs.Levels[0].Probes == 0 {
+		t.Fatal("no probes recorded at level 0")
+	}
+	// Every level evaluates at least one intersection with inputs and
+	// outputs booked.
+	for i, l := range bs.Levels {
+		if l.Intersections == 0 || l.InputCard == 0 {
+			t.Fatalf("level %d counters empty: %+v", i, l)
+		}
+	}
+	// The count tail's OutputCard sums the per-(x,y) triangle closers,
+	// which is exactly the ordered triangle count.
+	if got := bs.Levels[2].OutputCard; got != int64(base.Scalar()) {
+		t.Fatalf("tail OutputCard = %d, want triangle count %g", got, base.Scalar())
+	}
+	if bs.Emitted == 0 {
+		t.Fatal("no emits recorded")
+	}
+	if bs.WallUS < 0 {
+		t.Fatalf("negative wall time %d", bs.WallUS)
+	}
+}
+
+// Counter totals must not depend on how the work-stealing pool splits the
+// first level: per-worker counters merge losslessly.
+func TestCollectParallelMatchesSerial(t *testing.T) {
+	g := testGraph(300, 3000, 5)
+	db := dbWithGraph(g)
+	q := `TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`
+
+	prog, err := datalog.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialPr, err := Prepare(db, prog, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPr, err := Prepare(db, prog, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialPr.RunWith(db.Fork(), RunParams{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := parPr.RunWith(db.Fork(), RunParams{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, pb := serial.Stats.Bags[0], par.Stats.Bags[0]
+	if sb.Emitted != pb.Emitted {
+		t.Fatalf("emitted: serial %d, parallel %d", sb.Emitted, pb.Emitted)
+	}
+	for i := range sb.Levels {
+		if sb.Levels[i] != pb.Levels[i] {
+			t.Fatalf("level %d diverges: serial %+v, parallel %+v", i, sb.Levels[i], pb.Levels[i])
+		}
+	}
+}
+
+func TestExplainAnalyzeAnnotates(t *testing.T) {
+	g := testGraph(100, 600, 3)
+	db := dbWithGraph(g)
+	pr := prepareQ(t, db, `P(x,z) :- Edge(x,y),Edge(y,z).`)
+	res, err := pr.RunWith(db.Fork(), RunParams{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil {
+		t.Fatal("no stats")
+	}
+	plain := res.Plan.Explain()
+	if strings.Contains(plain, "actual:") {
+		t.Fatal("plain Explain leaked annotations")
+	}
+	ann := res.Plan.ExplainAnalyze(res.Stats)
+	for _, want := range []string{"actual:", "probes=", "emitted=", "∩="} {
+		if !strings.Contains(ann, want) {
+			t.Fatalf("ExplainAnalyze missing %q:\n%s", want, ann)
+		}
+	}
+}
+
+func TestRunWithTraceRecordsBagSpans(t *testing.T) {
+	g := testGraph(100, 600, 3)
+	db := dbWithGraph(g)
+	pr := prepareQ(t, db, `TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`)
+	rec := trace.NewRecorder(4)
+	tr := rec.Start("query")
+	if _, err := pr.RunWith(db.Fork(), RunParams{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	spans := tr.SpansSnapshot()
+	found := false
+	for _, sp := range spans {
+		if sp.Name == "bag 0" && sp.DurUS >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no bag span recorded: %+v", spans)
+	}
+}
+
+// TestAnalyzeOverheadGate is the CI bench-smoke gate: running triangle and
+// 2-path with the ExecStats collector enabled must cost < 3% over the
+// default path. The default path itself only pays nil checks on the same
+// sites, so its overhead is bounded well below the measured delta.
+//
+// Methodology: serial execution (Parallelism 1) isolates the collector
+// from scheduler noise on small CI machines, and off/on runs interleave
+// so clock-frequency drift and GC cycles hit both sides equally; the
+// minimum of many rounds approximates each side's ideal runtime. Env-
+// gated so tier-1 `go test ./...` stays timing-free.
+func TestAnalyzeOverheadGate(t *testing.T) {
+	if os.Getenv("EH_ANALYZE_GATE") == "" {
+		t.Skip("set EH_ANALYZE_GATE=1 to run the instrumentation overhead gate")
+	}
+	for _, tc := range []struct {
+		name, q string
+		n, m    int
+		rounds  int
+	}{
+		{"triangle", `TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.`, 3000, 60000, 25},
+		{"path2", `P(x,z) :- Edge(x,y),Edge(y,z).`, 1000, 15000, 15},
+	} {
+		g := testGraph(tc.n, tc.m, 17)
+		db := dbWithGraph(g)
+		prog, err := datalog.Parse(tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := Prepare(db, prog, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(collect bool) time.Duration {
+			fork := db.Fork()
+			start := time.Now()
+			if _, err := pr.RunWith(fork, RunParams{Collect: collect}); err != nil {
+				t.Fatal(err)
+			}
+			return time.Since(start)
+		}
+		run(false) // warm lazily built indexes
+		run(true)
+		measure := func() (off, on time.Duration) {
+			offs := make([]time.Duration, 0, tc.rounds)
+			ons := make([]time.Duration, 0, tc.rounds)
+			for i := 0; i < tc.rounds; i++ {
+				offs = append(offs, run(false))
+				ons = append(ons, run(true))
+			}
+			sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+			sort.Slice(ons, func(i, j int) bool { return ons[i] < ons[j] })
+			return offs[0], ons[0]
+		}
+		// Shared single-core CI boxes jitter by several percent; a true
+		// regression shows in every attempt, noise does not.
+		best := 1e9
+		for attempt := 0; attempt < 3; attempt++ {
+			off, on := measure()
+			overhead := float64(on-off) / float64(off)
+			t.Logf("%s attempt %d: off=%v on=%v overhead=%.2f%%", tc.name, attempt, off, on, overhead*100)
+			if overhead < best {
+				best = overhead
+			}
+			if best <= 0.03 {
+				break
+			}
+		}
+		if best > 0.03 {
+			t.Errorf("%s: analyze instrumentation overhead %.2f%% exceeds 3%% in all attempts",
+				tc.name, best*100)
+		}
+	}
+}

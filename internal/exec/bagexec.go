@@ -10,6 +10,7 @@ import (
 
 	"emptyheaded/internal/semiring"
 	"emptyheaded/internal/set"
+	"emptyheaded/internal/trace"
 	"emptyheaded/internal/trie"
 )
 
@@ -33,7 +34,12 @@ func (p *Plan) Run() (*Result, error) {
 		for _, a := range p.Assembly.Atoms {
 			a.child.result = results[a.child.resolveID()]
 		}
+		var sp trace.SpanID = -1
+		if p.tr != nil {
+			sp = p.tr.Begin("assembly")
+		}
 		t, err := p.execBag(p.Assembly)
+		p.tr.End(sp)
 		if err != nil {
 			return nil, err
 		}
@@ -46,6 +52,7 @@ func (p *Plan) Run() (*Result, error) {
 		Trie:      out,
 		Plan:      p,
 		Truncated: p.truncated,
+		Stats:     p.stats,
 	}
 	return res, nil
 }
@@ -71,6 +78,12 @@ func (p *Plan) runBag(bp *BagPlan, results map[int]*trie.Trie) error {
 		if _, ok := results[bp.DedupOf]; !ok {
 			return fmt.Errorf("exec: dedup target bag %d not yet computed", bp.DedupOf)
 		}
+		if p.stats != nil {
+			p.stats.Bags = append(p.stats.Bags, &BagStats{
+				BagID: bp.ID, Attrs: bp.Attrs, OutAttrs: bp.OutAttrs,
+				Reused: true, ReusedFrom: bp.DedupOf,
+			})
+		}
 		return nil
 	}
 	for _, a := range bp.Atoms {
@@ -78,7 +91,12 @@ func (p *Plan) runBag(bp *BagPlan, results map[int]*trie.Trie) error {
 			a.child.result = results[a.child.resolveID()]
 		}
 	}
+	var sp trace.SpanID = -1
+	if p.tr != nil {
+		sp = p.tr.Begin(fmt.Sprintf("bag %d", bp.ID))
+	}
 	t, err := p.execBag(bp)
+	p.tr.End(sp)
 	if err != nil {
 		return err
 	}
@@ -119,6 +137,13 @@ type bagExec struct {
 	// lim is non-nil when this bag is the final listing bag of a limited
 	// query (see Plan.limitFor); shared across worker clones.
 	lim *limitState
+	// lc holds the EXPLAIN ANALYZE level counters (see stats.go): nil on
+	// the default path, private per worker clone (padded allocation, see
+	// newLevelCounters), merged after the pool drains. emits accumulates
+	// workers' emit counts at merge time; the hot per-emit counter lives
+	// on the worker.
+	lc    []LevelStats
+	emits int64
 }
 
 type curRef struct {
@@ -184,6 +209,21 @@ func (p *Plan) execBag(bp *BagPlan) (*trie.Trie, error) {
 	ex := &bagExec{p: p, bp: bp, op: op, cfg: p.opts.Intersect}
 	ex.perLevel = make([][]curRef, len(bp.Attrs))
 	ex.scalarFactor = op.One()
+	var bs *BagStats
+	if p.stats != nil {
+		bs = &BagStats{BagID: bp.ID, Attrs: bp.Attrs, OutAttrs: bp.OutAttrs,
+			Levels: make([]LevelStats, len(bp.Attrs))}
+		for i, a := range bp.Attrs {
+			bs.Levels[i].Attr = a
+		}
+		p.stats.Bags = append(p.stats.Bags, bs)
+		ex.lc = newLevelCounters(len(bp.Attrs))
+		t0 := time.Now()
+		defer func() {
+			ex.drainInto(bs)
+			bs.WallUS = time.Since(t0).Microseconds()
+		}()
+	}
 	for _, a := range bp.Atoms {
 		var t *trie.Trie
 		if a.child != nil {
@@ -229,6 +269,9 @@ func (p *Plan) execBag(bp *BagPlan) (*trie.Trie, error) {
 	for _, c := range ex.cursors {
 		if !ex.preDescend(c) {
 			// A selection constant is absent: the bag result is empty.
+			if bs != nil {
+				bs.SelectionMiss = true
+			}
 			return ex.emptyResult(), nil
 		}
 	}
@@ -355,6 +398,10 @@ type worker struct {
 	anns   []float64
 	scalar float64
 	tick   uint32 // timeout check pacing
+	// emits counts emit() calls when analyze counters are on. It lives
+	// here, not on bagExec: emit already writes this struct's slice
+	// headers, so the extra store adds no cross-worker cache traffic.
+	emits int64
 	// scratch provides two ping-pong intersection buffer pairs per loop
 	// level, so the loop nest runs allocation-free on uint and bitset
 	// results.
@@ -375,6 +422,14 @@ func (w *worker) initScratch(levels int) {
 // intersectionAtBuf is intersectionAt using the worker's per-level
 // scratch buffers.
 func (w *worker) intersectionAtBuf(lvl int) set.Set {
+	s := w.intersectionAtBufInner(lvl)
+	if w.ex.lc != nil {
+		w.ex.noteIntersect(lvl, s.Card())
+	}
+	return s
+}
+
+func (w *worker) intersectionAtBufInner(lvl int) set.Set {
 	ex := w.ex
 	refs := ex.perLevel[lvl]
 	cur := ex.levelSet(refs[0])
@@ -392,6 +447,14 @@ func (w *worker) intersectionAtBuf(lvl int) set.Set {
 
 // countAtBuf counts the tail-level intersection using scratch buffers.
 func (w *worker) countAtBuf(lvl int) int {
+	n := w.countAtBufInner(lvl)
+	if w.ex.lc != nil {
+		w.ex.noteIntersect(lvl, n)
+	}
+	return n
+}
+
+func (w *worker) countAtBufInner(lvl int) int {
 	ex := w.ex
 	refs := ex.perLevel[lvl]
 	if len(refs) == 1 {
@@ -441,6 +504,9 @@ func (ex *bagExec) runParallel() ([][]uint32, []float64, float64, error) {
 		w := ex.newWorker()
 		w.initScratch(len(ex.bp.Attrs))
 		w.levelValues(0, first, ex.scalarFactor)
+		if ex.lc != nil {
+			ex.mergeCounters(w)
+		}
 		return w.cols, w.anns, w.scalar, nil
 	}
 	vals := first.Slice()
@@ -482,6 +548,11 @@ func (ex *bagExec) runParallel() ([][]uint32, []float64, float64, error) {
 		}(w)
 	}
 	wg.Wait()
+	if ex.lc != nil {
+		for _, w := range workers {
+			ex.mergeCounters(w)
+		}
+	}
 	// Concatenate the per-worker columns: one flat copy per attribute, no
 	// pointer chasing, sized exactly once.
 	total := 0
@@ -515,6 +586,9 @@ func (w *worker) withPrivateCursors() *worker {
 		countTail: old.countTail, scalarFactor: old.scalarFactor,
 		lim: old.lim,
 	}
+	if old.lc != nil {
+		ex.lc = newLevelCounters(len(old.lc))
+	}
 	ex.perLevel = make([][]curRef, len(old.perLevel))
 	cmap := map[*cursor]*cursor{}
 	for _, c := range old.cursors {
@@ -536,6 +610,14 @@ func (w *worker) withPrivateCursors() *worker {
 // intersectionAt computes the set of candidate values at a bag level from
 // the current cursor nodes (the ∩ of Algorithm 1).
 func (ex *bagExec) intersectionAt(lvl int) set.Set {
+	s := ex.intersectionAtInner(lvl)
+	if ex.lc != nil {
+		ex.noteIntersect(lvl, s.Card())
+	}
+	return s
+}
+
+func (ex *bagExec) intersectionAtInner(lvl int) set.Set {
 	refs := ex.perLevel[lvl]
 	cur := ex.levelSet(refs[0])
 	for _, r := range refs[1:] {
@@ -553,6 +635,18 @@ func (ex *bagExec) levelSet(r curRef) set.Set {
 		return set.Empty()
 	}
 	return n.Set
+}
+
+// levelCard is levelSet(r).Card() without copying the ~90-byte Set
+// struct out of the trie node — the analyze counters read participant
+// cardinalities on every intersection, and the full-struct copy showed
+// up as a third of the profile.
+func (ex *bagExec) levelCard(r curRef) int {
+	n := r.c.nodes[r.atomLevel]
+	if n == nil {
+		return 0
+	}
+	return set.CardOf(&n.Set)
 }
 
 // levelValues iterates the candidate values of a level and recurses.
@@ -598,7 +692,14 @@ func (w *worker) levelValues(lvl int, candidates set.Set, ann float64) {
 	foldHere := last && !bp.Out[lvl]
 	acc := ex.op.Zero()
 	folded := false
+	var lvlStats *LevelStats
+	if ex.lc != nil {
+		lvlStats = &ex.lc[lvl]
+	}
 	candidates.ForEachUntil(func(_ int, v uint32) bool {
+		if lvlStats != nil {
+			lvlStats.Probes++
+		}
 		if ex.lim.stopped() {
 			// Limit pushdown: the listing budget is spent; unwind.
 			return false
@@ -643,6 +744,9 @@ func (w *worker) levelValues(lvl int, candidates set.Set, ann float64) {
 			}
 		}
 		if !ok {
+			if lvlStats != nil {
+				lvlStats.Skipped++
+			}
 			return true
 		}
 		if outPos >= 0 {
@@ -680,25 +784,6 @@ func (w *worker) levelValues(lvl int, candidates set.Set, ann float64) {
 	}
 }
 
-// countAt counts the tail-level intersection without materializing.
-func (ex *bagExec) countAt(lvl int) int {
-	refs := ex.perLevel[lvl]
-	if len(refs) == 1 {
-		return ex.levelSet(refs[0]).Card()
-	}
-	cur := ex.levelSet(refs[0])
-	for i := 1; i < len(refs)-1; i++ {
-		if cur.IsEmpty() {
-			return 0
-		}
-		cur = set.IntersectCfg(cur, ex.levelSet(refs[i]), ex.cfg)
-	}
-	if cur.IsEmpty() {
-		return 0
-	}
-	return set.IntersectCountCfg(cur, ex.levelSet(refs[len(refs)-1]), ex.cfg)
-}
-
 // exists reports whether any full binding exists from lvl on.
 func (ex *bagExec) exists(lvl int) bool {
 	candidates := ex.intersectionAt(lvl)
@@ -733,6 +818,9 @@ func (ex *bagExec) exists(lvl int) bool {
 // emit records one output row (or folds into the scalar when the bag has
 // no output attributes): one amortized append per output attribute.
 func (w *worker) emit(ann float64) {
+	if w.ex.lc != nil {
+		w.emits++
+	}
 	if len(w.ex.bp.OutAttrs) == 0 {
 		w.scalar = w.ex.op.Add(w.scalar, ann)
 		return

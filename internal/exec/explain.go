@@ -10,6 +10,24 @@ import (
 // attribute with the participating set intersections, plus the Yannakakis
 // passes across bags.
 func (p *Plan) Explain() string {
+	return p.explain(nil)
+}
+
+// ExplainAnalyze renders the same loop nest annotated with the measured
+// counters of one run (EXPLAIN ANALYZE): per level the intersection count,
+// summed input/output set cardinalities, and probe/skip counts; per bag
+// the emitted-row count and wall time.
+func (p *Plan) ExplainAnalyze(st *ExecStats) string {
+	return p.explain(st)
+}
+
+func (p *Plan) explain(st *ExecStats) string {
+	byBag := map[int]*BagStats{}
+	if st != nil {
+		for _, b := range st.Bags {
+			byBag[b.BagID] = b
+		}
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "-- query: %s\n", p.Rule)
 	fmt.Fprintf(&sb, "-- GHD (width %.2f, %d bag(s)):\n", p.GHD.Width, p.GHD.Bags)
@@ -22,6 +40,7 @@ func (p *Plan) Explain() string {
 		for _, c := range bp.Children {
 			emitBag(c)
 		}
+		bs := byBag[bp.ID]
 		fmt.Fprintf(&sb, "bag %d", bp.ID)
 		if len(bp.OutAttrs) > 0 {
 			fmt.Fprintf(&sb, " -> @bag%d(%s)", bp.ID, strings.Join(bp.OutAttrs, ","))
@@ -32,7 +51,14 @@ func (p *Plan) Explain() string {
 			fmt.Fprintf(&sb, "  // identical to bag %d, result reused (App. B.2)\n", bp.DedupOf)
 			return
 		}
-		sb.WriteString(":\n")
+		sb.WriteString(":")
+		if bs != nil {
+			fmt.Fprintf(&sb, "  // actual: emitted=%d wall=%dµs", bs.Emitted, bs.WallUS)
+			if bs.SelectionMiss {
+				sb.WriteString(" selection-miss(empty)")
+			}
+		}
+		sb.WriteString("\n")
 		indent := "  "
 		// Selection pre-descent.
 		for _, a := range bp.Atoms {
@@ -68,12 +94,21 @@ func (p *Plan) Explain() string {
 			if lvl >= bp.ExistsFrom {
 				sx += "  // existence check only"
 			}
+			if bs != nil && lvl < len(bs.Levels) {
+				l := bs.Levels[lvl]
+				sx += fmt.Sprintf("  // actual: ∩=%d in=%d out=%d", l.Intersections, l.InputCard, l.OutputCard)
+			}
 			fmt.Fprintf(&sb, "%s%s\n", indent, sx)
 			verb := "for"
 			if lvl == len(bp.Attrs)-1 && !bp.Out[lvl] {
 				verb = "aggregate over"
 			}
-			fmt.Fprintf(&sb, "%s%s %s in s%s:\n", indent, verb, attr, attr)
+			loop := fmt.Sprintf("%s %s in s%s:", verb, attr, attr)
+			if bs != nil && lvl < len(bs.Levels) {
+				l := bs.Levels[lvl]
+				loop += fmt.Sprintf("  // actual: probes=%d skipped=%d", l.Probes, l.Skipped)
+			}
+			fmt.Fprintf(&sb, "%s%s\n", indent, loop)
 			indent += "  "
 		}
 		if len(bp.OutAttrs) > 0 {
@@ -89,8 +124,12 @@ func (p *Plan) Explain() string {
 		for _, a := range p.Assembly.Atoms {
 			rels = append(rels, a.Rel)
 		}
-		fmt.Fprintf(&sb, "join %s -> %s(%s)\n", strings.Join(rels, " ⋈ "),
+		fmt.Fprintf(&sb, "join %s -> %s(%s)", strings.Join(rels, " ⋈ "),
 			p.Rule.Head.Name, strings.Join(p.Assembly.OutAttrs, ","))
+		if bs := byBag[-1]; bs != nil {
+			fmt.Fprintf(&sb, "  // actual: emitted=%d wall=%dµs", bs.Emitted, bs.WallUS)
+		}
+		sb.WriteString("\n")
 	}
 	return sb.String()
 }

@@ -10,6 +10,7 @@ import (
 	"emptyheaded/internal/ghd"
 	"emptyheaded/internal/hypergraph"
 	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/trace"
 	"emptyheaded/internal/trie"
 )
 
@@ -36,6 +37,11 @@ type Plan struct {
 	// truncated reports that limit pushdown stopped the final listing bag
 	// early (Result.Truncated).
 	truncated bool
+
+	// Per-run observability, set through Prepared.RunWith; both nil on
+	// the default path.
+	stats *ExecStats
+	tr    *trace.Trace
 }
 
 // AggInfo captures the semiring aggregation of a rule.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"emptyheaded/internal/datalog"
+	"emptyheaded/internal/trace"
 )
 
 // Prepared is a reusable compiled query: the parsed program plus, for
@@ -53,13 +54,35 @@ func (pr *Prepared) Run(db *DB) (*Result, error) {
 // per-execution override, so one cached plan serves requests with
 // different limits.
 func (pr *Prepared) RunLimit(db *DB, limit int) (*Result, error) {
+	return pr.RunWith(db, RunParams{Limit: limit})
+}
+
+// RunParams carries per-execution observability and limit options.
+type RunParams struct {
+	// Limit is the listing row budget (0 = run to completion).
+	Limit int
+	// Collect enables the EXPLAIN ANALYZE counters; the run's ExecStats
+	// lands in Result.Stats. Multi-rule and recursive programs execute
+	// without a pinned plan and collect nothing.
+	Collect bool
+	// Trace, when non-nil, receives one span per executed bag plus the
+	// assembly join.
+	Trace *trace.Trace
+}
+
+// RunWith executes the prepared query with per-run parameters.
+func (pr *Prepared) RunWith(db *DB, rp RunParams) (*Result, error) {
 	if pr.plan == nil {
 		opts := pr.opts
-		opts.Limit = limit
+		opts.Limit = rp.Limit
 		return RunProgram(db, pr.Prog, opts)
 	}
 	p := pr.plan.Clone(db)
-	p.opts.Limit = limit
+	p.opts.Limit = rp.Limit
+	if rp.Collect {
+		p.stats = &ExecStats{}
+	}
+	p.tr = rp.Trace
 	res, err := runCompiled(db, p, pr.plan.Rule)
 	if err != nil {
 		return nil, err
@@ -78,6 +101,8 @@ func (p *Plan) Clone(db *DB) *Plan {
 	np.deadline = time.Time{}
 	np.stop = nil
 	np.truncated = false
+	np.stats = nil
+	np.tr = nil
 	m := map[*BagPlan]*BagPlan{}
 	np.Root = cloneBag(p.Root, m)
 	np.Assembly = cloneBag(p.Assembly, m)

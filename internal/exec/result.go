@@ -21,6 +21,9 @@ type Result struct {
 	// listing early: the trie holds roughly the first Limit tuples found,
 	// not the full result.
 	Truncated bool
+	// Stats holds the EXPLAIN ANALYZE counters when the run collected
+	// them (RunParams.Collect); nil otherwise.
+	Stats *ExecStats
 }
 
 // Scalar returns the annotation of a zero-arity result.

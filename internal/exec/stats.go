@@ -1,0 +1,119 @@
+package exec
+
+// ExecStats is the per-run EXPLAIN ANALYZE collector: live counters from
+// the generic-join loop nest, one BagStats per executed bag (assembly
+// included, BagID -1). Collection is opt-in per run (RunParams.Collect);
+// on the default path every instrumentation site is behind one nil check
+// so serving latency is unaffected.
+//
+// Counters are plain ints: each worker goroutine increments its own
+// bagExec clone's counters (no atomics in the inner loops), and the
+// per-worker sets merge into the coordinating bagExec after the
+// work-stealing pool drains.
+
+// LevelStats aggregates the set-kernel activity of one loop-nest level.
+type LevelStats struct {
+	// Attr is the bag attribute bound at this level.
+	Attr string `json:"attr"`
+	// Intersections counts multi-way intersection evaluations at this
+	// level (one per candidate-set construction, not per pairwise kernel
+	// call).
+	Intersections int64 `json:"intersections"`
+	// InputCard sums the cardinalities of every participating set across
+	// those evaluations; OutputCard sums the result cardinalities, so
+	// OutputCard/InputCard approximates the level's selectivity.
+	InputCard  int64 `json:"input_card"`
+	OutputCard int64 `json:"output_card"`
+	// Probes counts candidate values iterated at this level; Skipped
+	// counts probes rejected because a participating atom had no matching
+	// child (rank miss during descent).
+	Probes  int64 `json:"probes"`
+	Skipped int64 `json:"skipped"`
+}
+
+func (l *LevelStats) add(o *LevelStats) {
+	l.Intersections += o.Intersections
+	l.InputCard += o.InputCard
+	l.OutputCard += o.OutputCard
+	l.Probes += o.Probes
+	l.Skipped += o.Skipped
+}
+
+// BagStats aggregates one bag execution of the plan's Yannakakis pass.
+type BagStats struct {
+	// BagID matches BagPlan.ID; -1 is the final assembly join.
+	BagID    int      `json:"bag_id"`
+	Attrs    []string `json:"attrs,omitempty"`
+	OutAttrs []string `json:"out_attrs,omitempty"`
+	// Levels holds per-loop-level counters in loop-nest order.
+	Levels []LevelStats `json:"levels,omitempty"`
+	// Emitted counts output rows (or scalar folds) this bag produced,
+	// pre-dedup: materialization may ⊕-combine duplicates.
+	Emitted int64 `json:"emitted"`
+	// WallUS is the bag's wall-clock execution time in microseconds.
+	WallUS int64 `json:"wall_us"`
+	// Reused marks a dedup'd bag whose result came from ReusedFrom
+	// (App. B.2); no loop nest ran.
+	Reused     bool `json:"reused,omitempty"`
+	ReusedFrom int  `json:"reused_from,omitempty"`
+	// SelectionMiss marks a bag short-circuited to an empty result by an
+	// absent pre-descent selection constant.
+	SelectionMiss bool `json:"selection_miss,omitempty"`
+}
+
+// ExecStats is one run's collected statistics, in bag execution order
+// (bottom-up, assembly last).
+type ExecStats struct {
+	Bags []*BagStats `json:"bags"`
+}
+
+// TotalEmitted sums emitted rows across bags.
+func (st *ExecStats) TotalEmitted() int64 {
+	if st == nil {
+		return 0
+	}
+	var n int64
+	for _, b := range st.Bags {
+		n += b.Emitted
+	}
+	return n
+}
+
+// newLevelCounters allocates a level-counter slice with two pad elements
+// on each side, so concurrent workers' hot counters land on different
+// cache lines (the merge after the pool drains reads them anyway, but
+// false sharing during the run costs real throughput).
+func newLevelCounters(n int) []LevelStats {
+	b := make([]LevelStats, n+4)
+	return b[2 : n+2 : n+2]
+}
+
+// noteIntersect books one multi-way intersection at a level: inputs are
+// the participating set cardinalities, output the result cardinality.
+// Callers guard on ex.lc != nil.
+func (ex *bagExec) noteIntersect(lvl int, out int) {
+	l := &ex.lc[lvl]
+	l.Intersections++
+	for _, r := range ex.perLevel[lvl] {
+		l.InputCard += int64(ex.levelCard(r))
+	}
+	l.OutputCard += int64(out)
+}
+
+// mergeCounters folds a worker clone's counters into the coordinator.
+func (ex *bagExec) mergeCounters(w *worker) {
+	if w.ex != ex {
+		for i := range w.ex.lc {
+			ex.lc[i].add(&w.ex.lc[i])
+		}
+	}
+	ex.emits += w.emits
+}
+
+// drainInto moves the accumulated counters into the bag's stats record.
+func (ex *bagExec) drainInto(bs *BagStats) {
+	for i := range ex.lc {
+		bs.Levels[i].add(&ex.lc[i])
+	}
+	bs.Emitted += ex.emits
+}

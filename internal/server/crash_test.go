@@ -196,7 +196,7 @@ func TestKillAndRestartDurability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := refSrv.runQuery(&QueryRequest{Query: q, Limit: 10000}, 10000)
+		want, _, err := refSrv.runQuery(&QueryRequest{Query: q, Limit: 10000}, 10000, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"emptyheaded/internal/metrics"
 )
 
 // handleMetrics serves the same counters as /stats in the Prometheus text
@@ -98,6 +100,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, ov := range d.Overlays {
 		fmt.Fprintf(&sb, "emptyheaded_overlay_rows{relation=%q} %d\n", ov.Relation, ov.Rows)
 	}
+	fmt.Fprintf(&sb, "# HELP %s Estimated delta-overlay bytes per relation and side (ins/del).\n# TYPE %s gauge\n",
+		"emptyheaded_overlay_bytes", "emptyheaded_overlay_bytes")
+	for _, ov := range d.Overlays {
+		fmt.Fprintf(&sb, "emptyheaded_overlay_bytes{relation=%q,side=\"ins\"} %d\n", ov.Relation, ov.InsBytes)
+		fmt.Fprintf(&sb, "emptyheaded_overlay_bytes{relation=%q,side=\"del\"} %d\n", ov.Relation, ov.DelBytes)
+	}
+
+	// Latency histograms. Phase histograms share one family under a
+	// phase label; the rest are unlabeled single-series families.
+	histogram := func(name, help string, h *metrics.Histogram) {
+		metrics.WritePromHeader(&sb, name, help)
+		h.Snapshot().WriteProm(&sb, name, "")
+	}
+	histogram("emptyheaded_query_seconds", "End-to-end /query latency (cached serves included).", s.obs.query)
+	metrics.WritePromHeader(&sb, "emptyheaded_query_phase_seconds", "Per-phase /query latency breakdown.")
+	for _, p := range queryPhases {
+		s.obs.phases[p].Snapshot().WriteProm(&sb, "emptyheaded_query_phase_seconds", fmt.Sprintf("phase=%q", p))
+	}
+	histogram("emptyheaded_update_seconds", "End-to-end /update latency.", s.obs.update)
+	histogram("emptyheaded_result_cache_age_seconds", "Result-cache entry age at serve time.", s.obs.cacheAge)
+	if d.WAL.Enabled {
+		histogram("emptyheaded_wal_fsync_seconds", "WAL fsync latency.", s.obs.fsync)
+	}
+	histogram("emptyheaded_compaction_seconds", "Delta-overlay compaction duration.", s.obs.compact)
 
 	gauge("emptyheaded_admission_workers", "Worker slots.", float64(st.Admission.Workers))
 	gauge("emptyheaded_admission_queue_depth", "Admission queue capacity.", float64(st.Admission.QueueDepth))

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"emptyheaded/internal/graph"
 	"emptyheaded/internal/semiring"
 	"emptyheaded/internal/storage"
+	"emptyheaded/internal/trace"
 )
 
 // Config sizes the service; zero values take the documented defaults.
@@ -65,6 +67,15 @@ type Config struct {
 	// auto-restores from on boot / snapshots to on SIGTERM). Empty means
 	// requests must name a directory explicitly.
 	DataDir string
+	// TraceRing is how many completed query/update traces /debug/queries
+	// retains (default 128).
+	TraceRing int
+	// SlowQueryThreshold: finished requests at or above it are written
+	// to SlowQueryLog as one JSON line each (0 disables the log).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives the slow-query JSON lines (default
+	// os.Stderr when SlowQueryThreshold is set).
+	SlowQueryLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +100,12 @@ func (c Config) withDefaults() Config {
 	if c.DefaultLimit <= 0 {
 		c.DefaultLimit = 1000
 	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 128
+	}
+	if c.SlowQueryThreshold > 0 && c.SlowQueryLog == nil {
+		c.SlowQueryLog = os.Stderr
+	}
 	return c
 }
 
@@ -101,6 +118,11 @@ type Server struct {
 	results *lruCache
 	adm     *admission
 	start   time.Time
+
+	// rec retains completed request traces for the debug endpoints; obs
+	// owns the latency histograms and the slow-query log.
+	rec *trace.Recorder
+	obs *observability
 
 	// gen is the database generation: it advances on every /restore.
 	// Result-cache keys embed it because snapshot epochs are adopted
@@ -132,6 +154,8 @@ func New(eng *core.Engine, cfg Config) *Server {
 		results: newLRUCache(cfg.ResultCacheSize),
 		adm:     newAdmission(cfg.Workers, cfg.QueueDepth, cfg.QueueWait),
 		start:   time.Now(),
+		rec:     trace.NewRecorder(cfg.TraceRing),
+		obs:     newObservability(cfg),
 		endpoints: map[string]*latencyWindow{
 			"/query":     newLatencyWindow(),
 			"/explain":   newLatencyWindow(),
@@ -144,6 +168,12 @@ func New(eng *core.Engine, cfg Config) *Server {
 			"/stats":     newLatencyWindow(),
 		},
 	}
+	// Feed the core subsystems' latency events (WAL fsyncs, overlay
+	// compactions) into the server's histograms.
+	eng.SetObservers(core.Observers{
+		WALFsync:   s.obs.fsync.Observe,
+		Compaction: s.obs.compact.Observe,
+	})
 	return s
 }
 
@@ -160,6 +190,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/restore", s.instrument("/restore", s.handleRestore))
 	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("/debug/trace/", s.handleDebugTrace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
@@ -241,6 +273,12 @@ type QueryRequest struct {
 	// attribute instead of one small array per row), and the server
 	// extracts them straight from the result trie's flat columns.
 	Columns bool `json:"columns,omitempty"`
+	// Analyze runs the query with the EXPLAIN ANALYZE collector and
+	// attaches the live kernel counters, annotated plan and phase
+	// breakdown to the response. Analyze requests always execute (the
+	// result-cache read is skipped — counters of a cached serve would be
+	// empty), but still fill the cache for later plain requests.
+	Analyze bool `json:"analyze,omitempty"`
 }
 
 // QueryResponse is the /query reply.
@@ -266,6 +304,11 @@ type QueryResponse struct {
 	// the plan cache. ResultCached: the whole response did.
 	PlanCached   bool `json:"plan_cached"`
 	ResultCached bool `json:"result_cached"`
+	// TraceID names this request's lifecycle trace, retrievable via
+	// /debug/trace/<id> while the ring retains it.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// Analyze carries the EXPLAIN ANALYZE payload when requested.
+	Analyze *AnalyzeInfo `json:"analyze,omitempty"`
 }
 
 // cachedResult is one result-cache slot. Instead of the retired global
@@ -279,6 +322,9 @@ type cachedResult struct {
 	relEpochs []uint64
 	dictEpoch uint64
 	resp      QueryResponse
+	// createdAt stamps the fill time; serves observe the entry's age
+	// into the result-cache age histogram.
+	createdAt time.Time
 }
 
 // fresh reports whether cr is still valid against db's current epochs.
@@ -323,13 +369,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		limit = s.cfg.DefaultLimit
 	}
 	t0 := time.Now()
+	tr := s.rec.Start("query")
 
 	// Fast path: an exact-text repeat whose result is cached is served
 	// without taking a worker slot — a map lookup shouldn't queue behind
-	// heavy joins.
-	if !req.NoCache {
+	// heavy joins. Analyze requests skip it: a cached serve has no
+	// counters to report.
+	if !req.NoCache && !req.Analyze {
 		if resp, ok := s.cachedByText(&req, limit); ok {
 			resp.ElapsedUS = time.Since(t0).Microseconds()
+			resp.TraceID = tr.ID
+			tr.Annot("served", "result_cache_fast_path")
+			s.obs.finishTrace(tr)
+			s.obs.query.Observe(time.Since(t0))
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -338,18 +390,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// The admission gate bounds all remaining per-query work — parsing
 	// and GHD compilation included, since on a cache miss the optimizer
 	// is the expensive step the plan cache exists to amortize.
+	sp := tr.Begin("admission")
 	release, err := s.adm.acquire(r.Context())
+	tr.End(sp)
 	if err != nil {
+		tr.SetError(err.Error())
+		s.obs.finishTrace(tr)
 		writeErr(w, err)
 		return
 	}
-	resp, err := s.runQuery(&req, limit)
+	resp, az, err := s.runQuery(&req, limit, tr)
 	release()
 	if err != nil {
+		tr.SetError(err.Error())
+		s.obs.finishTrace(tr)
 		writeErr(w, err)
 		return
 	}
 	resp.ElapsedUS = time.Since(t0).Microseconds()
+	resp.TraceID = tr.ID
+	if req.Analyze {
+		resp.Analyze = &AnalyzeInfo{
+			TraceID:  tr.ID,
+			TotalUS:  resp.ElapsedUS,
+			PhasesUS: phasesOf(tr),
+		}
+		if az != nil {
+			resp.Analyze.Plan = az.plan
+			resp.Analyze.Bags = az.bags
+		}
+	}
+	s.obs.finishTrace(tr)
+	s.obs.query.Observe(time.Since(t0))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -371,6 +443,7 @@ func (s *Server) cachedByText(req *QueryRequest, limit int) (QueryResponse, bool
 	if !cr.fresh(s.eng.DB) {
 		return QueryResponse{}, false
 	}
+	s.obs.cacheAge.Observe(time.Since(cr.createdAt))
 	resp := cr.resp
 	resp.Attrs = mapAttrs(resp.Attrs, alias.canonToClient)
 	resp.ResultCached = true
@@ -404,7 +477,7 @@ func mapAttrs(attrs []string, m map[string]string) []string {
 }
 
 // runQuery executes one admitted /query request.
-func (s *Server) runQuery(req *QueryRequest, limit int) (QueryResponse, error) {
+func (s *Server) runQuery(req *QueryRequest, limit int, tr *trace.Trace) (QueryResponse, *analyzeData, error) {
 	// Fork per request: the query runs against a consistent snapshot of
 	// relations + dictionary (a concurrent /load can't swap data mid
 	// query), and intermediate head relations stay session-local. The
@@ -416,33 +489,41 @@ func (s *Server) runQuery(req *QueryRequest, limit int) (QueryResponse, error) {
 	gen := s.gen.Load()
 	fork := s.eng.DB.Fork()
 	epoch := fork.Version()
+	sp := tr.Begin("plan")
 	entry, alias, planHit, err := s.prepared(req.Query, fork, epoch)
 	if err != nil {
-		return QueryResponse{}, err
+		tr.End(sp)
+		return QueryResponse{}, nil, err
 	}
+	tr.SetFingerprint(entry.fp)
 	relEpochs, dictEpoch := fork.EpochsWithDict(entry.reads)
+	annotReadSet(tr, entry.reads, relEpochs, dictEpoch)
 
 	resultKey := resultCacheKey(gen, entry.fp, limit, req.Columns)
-	if !req.NoCache {
+	if !req.NoCache && !req.Analyze {
 		if v, ok := s.results.get(resultKey); ok {
 			cr := v.(*cachedResult)
 			if cr.fresh(fork) {
+				tr.End(sp)
+				tr.Annot("served", "result_cache")
+				s.obs.cacheAge.Observe(time.Since(cr.createdAt))
 				resp := cr.resp // copy; attrs re-labeled per spelling
 				resp.Attrs = mapAttrs(resp.Attrs, alias.canonToClient)
 				resp.ResultCached = true
 				resp.PlanCached = planHit
-				return resp, nil
+				return resp, nil, nil
 			}
 			s.results.remove(resultKey) // some read relation (or the dict) moved on
 		}
 	}
 
 	prep, err := s.freshPrep(entry, fork, epoch)
+	tr.End(sp)
 	if err != nil {
 		// Recompile against the fork failed (e.g. a relation vanished
 		// since the entry was cached).
 		s.plans.plans.remove(entry.fp)
-		return QueryResponse{}, badRequest("compile: %v", err)
+		return QueryResponse{}, nil, badRequest("compile: %v", err)
 	}
 	// Push the response limit into execution with one row of headroom.
 	// For all-output listings the budget counts distinct tuples, so a
@@ -450,30 +531,64 @@ func (s *Server) runQuery(req *QueryRequest, limit int) (QueryResponse, error) {
 	// that project variables away count pre-dedup rows and may return a
 	// smaller truncated sample (see exec.Options.Limit). Aggregates and
 	// other non-listing shapes run to completion.
-	res, err := prep.RunLimit(fork, limit+1)
+	sp = tr.Begin("execute")
+	res, err := prep.RunWith(fork, exec.RunParams{Limit: limit + 1, Collect: req.Analyze, Trace: tr})
+	tr.End(sp)
 	if err != nil {
 		if !errors.Is(err, exec.ErrTimeout) {
 			err = badRequest("%v", err)
 		}
-		return QueryResponse{}, err
+		return QueryResponse{}, nil, err
 	}
 
+	sp = tr.Begin("render")
 	resp := s.render(res, limit, fork.Dict(), req.Columns)
+	tr.End(sp)
 	resp.Truncated = resp.Truncated || res.Truncated
 	resp.PlanCached = planHit
 	// Canonicalize attribute names before caching so a future serve (or a
 	// recreated plan entry) can re-label them for any spelling.
 	resp.Attrs = mapAttrs(resp.Attrs, entry.attrToCanon)
 	if !req.NoCache && res.Trie.Cardinality() <= s.cfg.MaxCachedTuples {
+		// Analyze requests fill the cache too — with the plain response:
+		// trace and counters are per-request, not part of the result.
+		sp = tr.Begin("cache_fill")
 		s.results.put(resultKey, &cachedResult{
 			reads:     entry.reads,
 			relEpochs: relEpochs,
 			dictEpoch: dictEpoch,
 			resp:      resp,
+			createdAt: time.Now(),
 		})
+		tr.End(sp)
 	}
 	resp.Attrs = mapAttrs(resp.Attrs, alias.canonToClient)
-	return resp, nil
+	var az *analyzeData
+	if req.Analyze && res.Stats != nil {
+		az = &analyzeData{bags: res.Stats.Bags}
+		if res.Plan != nil {
+			az.plan = res.Plan.ExplainAnalyze(res.Stats)
+		}
+	}
+	return resp, az, nil
+}
+
+// annotReadSet records the query's read set and the epochs it executed
+// against — the slow-query log carries them so a stale-cache or
+// epoch-churn incident can be diagnosed from the log alone.
+func annotReadSet(tr *trace.Trace, reads []string, relEpochs []uint64, dictEpoch uint64) {
+	if tr == nil || len(reads) == 0 {
+		return
+	}
+	var b strings.Builder
+	for i, r := range reads {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s@%d", r, relEpochs[i])
+	}
+	tr.Annot("read_epochs", b.String())
+	tr.AnnotInt("dict_epoch", int64(dictEpoch))
 }
 
 // prepared resolves query text to a cached plan entry: exact text hit (no
@@ -855,16 +970,24 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
+	tr := s.rec.Start("update")
+	tr.Annot("relation", req.Name)
 	// Mini-trie builds and the merged-view install are bounded by the
 	// same worker pool as queries and loads.
+	sp := tr.Begin("admission")
 	release, err := s.adm.acquire(r.Context())
+	tr.End(sp)
 	if err != nil {
+		tr.SetError(err.Error())
+		s.obs.finishTrace(tr)
 		writeErr(w, err)
 		return
 	}
-	res, err := s.eng.Update(b)
+	res, err := s.eng.UpdateTraced(b, tr)
 	release()
 	if err != nil {
+		tr.SetError(err.Error())
+		s.obs.finishTrace(tr)
 		if errors.Is(err, core.ErrDurability) {
 			// The WAL could not persist the batch (disk full, I/O error):
 			// a server-side, retryable failure — not a bad request.
@@ -874,6 +997,8 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest("%v", err))
 		return
 	}
+	s.obs.finishTrace(tr)
+	s.obs.update.Observe(time.Since(t0))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"name":         res.Rel,
 		"seq":          res.Seq,
@@ -881,6 +1006,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		"deleted":      res.Deleted,
 		"cardinality":  res.Cardinality,
 		"overlay_rows": res.OverlayRows,
+		"trace_id":     tr.ID,
 		"elapsed_us":   time.Since(t0).Microseconds(),
 	})
 }

@@ -266,6 +266,11 @@ func (s Set) Layout() Layout { return s.layout }
 // Card reports the number of members.
 func (s Set) Card() int { return s.card }
 
+// CardOf reports the number of members through a pointer, so callers that
+// only need the cardinality of a stored Set (e.g. trie node sets read by
+// the execution counters) skip copying the struct.
+func CardOf(s *Set) int { return s.card }
+
 // IsEmpty reports whether the set has no members.
 func (s Set) IsEmpty() bool { return s.card == 0 }
 

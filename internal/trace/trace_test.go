@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndFinish(t *testing.T) {
+	r := NewRecorder(4)
+	tr := r.Start("query")
+	if tr.ID == 0 {
+		t.Fatal("trace ID not assigned")
+	}
+	sp := tr.Begin("plan")
+	time.Sleep(2 * time.Millisecond)
+	tr.End(sp)
+	tr.SpanAttrInt(sp, "bags", 3)
+	open := tr.Begin("execute") // left open: Finish must close it
+	tr.Annot("query", "triangle")
+	tr.SetFingerprint("fp123")
+	time.Sleep(time.Millisecond)
+	tr.Finish()
+
+	if tr.TotalUS <= 0 {
+		t.Fatalf("TotalUS = %d", tr.TotalUS)
+	}
+	if got := tr.PhaseUS("plan"); got < 1000 {
+		t.Fatalf("plan phase = %dus, want >= 1000", got)
+	}
+	spans := tr.SpansSnapshot()
+	if len(spans) != 2 {
+		t.Fatalf("span count = %d", len(spans))
+	}
+	if spans[open].DurUS < 0 {
+		t.Fatal("open span not closed by Finish")
+	}
+	if spans[sp].Attrs[0].Key != "bags" || spans[sp].Attrs[0].Val != "3" {
+		t.Fatalf("span attrs = %+v", spans[sp].Attrs)
+	}
+
+	got, ok := r.Get(tr.ID)
+	if !ok || got.Fingerprint != "fp123" {
+		t.Fatalf("Get(%d) = %+v, %v", tr.ID, got, ok)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(3)
+	var ids []uint64
+	for i := 0; i < 5; i++ {
+		tr := r.Start("query")
+		ids = append(ids, tr.ID)
+		tr.Finish()
+	}
+	done := r.Completed(0)
+	if len(done) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(done))
+	}
+	// Newest first: IDs 5, 4, 3.
+	for i, want := range []uint64{ids[4], ids[3], ids[2]} {
+		if done[i].ID != want {
+			t.Fatalf("Completed()[%d].ID = %d, want %d", i, done[i].ID, want)
+		}
+	}
+	if _, ok := r.Get(ids[0]); ok {
+		t.Fatal("evicted trace still retrievable")
+	}
+	if got := r.Completed(2); len(got) != 2 || got[0].ID != ids[4] {
+		t.Fatalf("Completed(2) = %v", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	tr := r.Start("query")
+	if tr != nil {
+		t.Fatal("nil recorder should start nil trace")
+	}
+	// All of these must be no-ops, not panics.
+	sp := tr.Begin("x")
+	if sp != -1 {
+		t.Fatalf("nil Begin = %d", sp)
+	}
+	tr.End(sp)
+	tr.SpanAttr(sp, "k", "v")
+	tr.Annot("k", "v")
+	tr.AnnotInt("k", 1)
+	tr.SetFingerprint("fp")
+	tr.SetError("boom")
+	tr.Finish()
+	if tr.PhaseUS("x") != 0 || tr.SpansSnapshot() != nil {
+		t.Fatal("nil trace leaked state")
+	}
+	if r.Completed(10) != nil {
+		t.Fatal("nil recorder Completed")
+	}
+}

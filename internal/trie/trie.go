@@ -120,6 +120,29 @@ func countLeaves(n *Node, depth int) int {
 	return total
 }
 
+// Contains reports whether the relation holds the full tuple. Cost is
+// one rank probe per level; the streaming-update path uses it to
+// maintain merged cardinalities incrementally instead of re-walking the
+// merged trie after every batch.
+func (t *Trie) Contains(tuple []uint32) bool {
+	if t == nil || t.Root == nil || len(tuple) != t.Arity || t.Arity == 0 {
+		return false
+	}
+	n := t.Root
+	last := len(tuple) - 1
+	for level, v := range tuple {
+		if n == nil {
+			return false
+		}
+		if level == last {
+			_, ok := n.Set.Rank(v)
+			return ok
+		}
+		n = n.Child(v)
+	}
+	return false
+}
+
 // MemBytes estimates the trie payload size (sets + annotations + child
 // pointers), used by the layout experiments.
 func (t *Trie) MemBytes() int {

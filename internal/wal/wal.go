@@ -151,6 +151,10 @@ type Log struct {
 	fsyncs     atomic.Uint64
 	fsyncNanos atomic.Uint64
 
+	// fsyncObs, when set, receives every fsync's wall duration (called
+	// under mu; keep it cheap — a histogram observe, not I/O).
+	fsyncObs func(time.Duration)
+
 	closeOnce sync.Once
 	stopSync  chan struct{}
 	syncDone  chan struct{}
@@ -400,10 +404,31 @@ func (l *Log) syncLocked() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	d := time.Since(t0)
 	l.fsyncs.Add(1)
-	l.fsyncNanos.Add(uint64(time.Since(t0)))
+	l.fsyncNanos.Add(uint64(d))
+	if l.fsyncObs != nil {
+		l.fsyncObs(d)
+	}
 	l.dirty = false
 	return nil
+}
+
+// SetFsyncObserver installs a callback receiving every fsync's wall
+// duration (latency histograms hook in here). The callback runs under
+// the log mutex and must be cheap.
+func (l *Log) SetFsyncObserver(fn func(time.Duration)) {
+	l.mu.Lock()
+	l.fsyncObs = fn
+	l.mu.Unlock()
+}
+
+// FsyncTotals returns the cumulative fsync count and wall nanoseconds.
+// Unlike StatsSnapshot it touches no filesystem state (no directory
+// listing), so the update hot path can read it per append to attribute
+// fsync time to individual batches.
+func (l *Log) FsyncTotals() (count, nanos uint64) {
+	return l.fsyncs.Load(), l.fsyncNanos.Load()
 }
 
 // Sync forces buffered appends to stable storage.
