@@ -45,6 +45,7 @@ func main() {
 	deleteFrac := flag.Float64("delete-frac", 0.5, "fraction of -mixed update batches that delete a previously inserted batch")
 	keySpace := flag.Int("keyspace", 1<<20, "vertex id space for -mixed random edges")
 	seed := flag.Int64("update-seed", 1, "seed for the -mixed update stream")
+	serveRetries := flag.Int("serve-retries", 3, "total attempts per shed (503/429) request, first included; 1 disables retries")
 	flag.Parse()
 
 	// Resolve the query mix once; both serve modes honor -serve-mix.
@@ -84,6 +85,7 @@ func main() {
 			KeySpace:          *keySpace,
 			Seed:              *seed,
 			NoResultCache:     *serveNoCache,
+			Retry:             bench.RetryPolicy{MaxAttempts: *serveRetries},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "eh-bench:", err)
@@ -100,6 +102,7 @@ func main() {
 			Concurrency:   *serveConcurrency,
 			Duration:      *serveDuration,
 			NoResultCache: *serveNoCache,
+			Retry:         bench.RetryPolicy{MaxAttempts: *serveRetries},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "eh-bench:", err)

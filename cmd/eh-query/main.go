@@ -1,23 +1,35 @@
-// Command eh-query runs a datalog query against an edge-list graph.
+// Command eh-query runs a datalog query against an edge-list graph, or
+// against a live eh-server.
 //
 // Usage:
 //
 //	eh-query -graph edges.txt [-directed] [-explain] [-analyze] [-limit 20] 'TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.'
+//	eh-query -serve-url http://localhost:8080 [-limit 20] 'TC(;w:long) :- ...'
 //
 // The graph is registered as the relation Edge (undirected by default:
 // each edge is loaded in both directions). -explain prints the physical
 // plan without running; -analyze runs the query with live kernel
 // counters and prints the plan annotated with actuals (EXPLAIN ANALYZE)
 // before the results.
+//
+// With -serve-url the query is POSTed to the server's /query endpoint
+// instead of executing locally. Shed responses (503 overload or
+// degraded, 429) are retried with jittered exponential backoff honoring
+// the server's Retry-After hint — see docs/RESILIENCE.md; -serve-retries
+// bounds the attempts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
 	"emptyheaded"
+	"emptyheaded/internal/bench"
 )
 
 func main() {
@@ -26,13 +38,21 @@ func main() {
 	explain := flag.Bool("explain", false, "print the physical plan instead of running")
 	analyze := flag.Bool("analyze", false, "run with live kernel counters and print the plan annotated with actuals")
 	limit := flag.Int("limit", 20, "max result tuples to print")
+	serveURL := flag.String("serve-url", "", "POST the query to this eh-server base URL instead of executing locally")
+	serveRetries := flag.Int("serve-retries", 3, "total attempts per shed (503/429) response, first included; 1 disables retries")
 	flag.Parse()
 
-	if *graphPath == "" || flag.NArg() != 1 {
+	if (*graphPath == "" && *serveURL == "") || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: eh-query -graph edges.txt [flags] '<datalog query>'")
+		fmt.Fprintln(os.Stderr, "       eh-query -serve-url http://host:8080 [flags] '<datalog query>'")
 		os.Exit(2)
 	}
 	query := flag.Arg(0)
+
+	if *serveURL != "" {
+		remote(*serveURL, query, *limit, *serveRetries)
+		return
+	}
 
 	f, err := os.Open(*graphPath)
 	if err != nil {
@@ -92,6 +112,75 @@ func main() {
 		if res.Cardinality() > *limit {
 			fmt.Printf("  ... (%d more)\n", res.Cardinality()-*limit)
 		}
+	}
+	fmt.Printf("elapsed: %s\n", elapsed)
+}
+
+// remote posts the query to a live eh-server with the shed-retry policy
+// applied and renders the JSON response in the local output format.
+func remote(baseURL, query string, limit, retries int) {
+	body, err := json.Marshal(struct {
+		Query string `json:"query"`
+		Limit int    `json:"limit,omitempty"`
+	}{Query: query, Limit: limit})
+	if err != nil {
+		fatal(err)
+	}
+	rc := bench.NewRetryClient(&http.Client{Timeout: 60 * time.Second},
+		bench.RetryPolicy{MaxAttempts: retries})
+	t0 := time.Now()
+	resp, err := rc.Post(baseURL+"/query", "application/json", body)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	elapsed := time.Since(t0)
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := string(raw)
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		if n := rc.Retries(); n > 0 {
+			msg = fmt.Sprintf("%s (after %d retries)", msg, n)
+		}
+		fatal(fmt.Errorf("server: %d: %s", resp.StatusCode, msg))
+	}
+	var qr struct {
+		Name        string    `json:"name"`
+		Cardinality int       `json:"cardinality"`
+		Scalar      *float64  `json:"scalar"`
+		Tuples      [][]int64 `json:"tuples"`
+		Anns        []float64 `json:"anns"`
+		Truncated   bool      `json:"truncated"`
+	}
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		fatal(fmt.Errorf("decode response: %w", err))
+	}
+	if qr.Scalar != nil {
+		fmt.Printf("%s = %g\n", qr.Name, *qr.Scalar)
+	} else {
+		fmt.Printf("%s: %d tuples%s\n", qr.Name, qr.Cardinality,
+			map[bool]string{true: " (truncated)", false: ""}[qr.Truncated])
+		for i, tp := range qr.Tuples {
+			fmt.Printf("  %v", tp)
+			if i < len(qr.Anns) {
+				fmt.Printf(" : %g", qr.Anns[i])
+			}
+			fmt.Println()
+		}
+		if qr.Cardinality > len(qr.Tuples) {
+			fmt.Printf("  ... (%d more)\n", qr.Cardinality-len(qr.Tuples))
+		}
+	}
+	if n := rc.Retries(); n > 0 {
+		fmt.Printf("retries: %d\n", n)
 	}
 	fmt.Printf("elapsed: %s\n", elapsed)
 }

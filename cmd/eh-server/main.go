@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -72,6 +73,10 @@ func main() {
 	planCache := flag.Int("plan-cache", 256, "plan cache entries")
 	resultCache := flag.Int("result-cache", 128, "result cache entries")
 	timeout := flag.Duration("query-timeout", 0, "per-query execution timeout (0 = none)")
+	queryDeadline := flag.Duration("query-deadline", 30*time.Second, "per-request wall-clock deadline: queries past it get 504 (0 = none)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive durability failures before entering read-only degraded mode (0 = default 3, <0 disables)")
+	breakerProbe := flag.Duration("breaker-probe", 0, "degraded-mode recovery probe interval (0 = default 1s)")
+	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint on 503 shed/degraded responses (0 = default 1s)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (e.g. 127.0.0.1:6060; empty = disabled)")
 	slowQueryMS := flag.Int("slow-query-ms", 0, "log requests slower than this many milliseconds as JSON lines (0 = disabled)")
 	slowQueryLog := flag.String("slow-query-log", "", "slow-query log file, appended (default stderr)")
@@ -81,10 +86,51 @@ func main() {
 	eng := core.New()
 	eng.Opts.Timeout = *timeout
 
+	var slowW io.Writer
+	if *slowQueryMS > 0 && *slowQueryLog != "" {
+		f, err := os.OpenFile(*slowQueryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(fmt.Errorf("slow-query log %s: %w", *slowQueryLog, err))
+		}
+		defer f.Close()
+		slowW = f
+	}
+
+	// The server and its listener come up before the data loads: /healthz
+	// answers liveness immediately and /readyz reports boot progress
+	// (loading → restoring → replaying-wal → ready) while a large restore
+	// or WAL replay runs, so orchestrators can distinguish a slow boot
+	// from a dead process.
+	s := server.New(eng, server.Config{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		QueueWait:          *queueWait,
+		PlanCacheSize:      *planCache,
+		ResultCacheSize:    *resultCache,
+		DataDir:            *dataDir,
+		TraceRing:          *traceRing,
+		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
+		SlowQueryLog:       slowW,
+		QueryDeadline:      *queryDeadline,
+		RetryAfter:         *retryAfter,
+		BreakerThreshold:   *breakerThreshold,
+		BreakerProbe:       *breakerProbe,
+	})
+	s.SetBootPhase("loading")
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	lnErr := make(chan error, 1)
+	go func() { lnErr <- httpSrv.Serve(ln) }()
+	log.Printf("eh-server: listening on %s", *addr)
+
 	// Boot order: a restorable snapshot in -data-dir wins (that is the
 	// deploy-survival path); otherwise fall back to the seed flags.
 	switch {
 	case *dataDir != "" && storage.Exists(*dataDir):
+		s.SetBootPhase("restoring")
 		t0 := time.Now()
 		cat, err := eng.Restore(*dataDir)
 		if err != nil {
@@ -121,6 +167,7 @@ func main() {
 	// of the restored state (records the snapshot already absorbed were
 	// truncated away; survivors re-apply idempotently).
 	if *walDir != "" {
+		s.SetBootPhase("replaying-wal")
 		policy, err := wal.ParseSyncPolicy(*fsync)
 		if err != nil {
 			fatal(err)
@@ -142,28 +189,7 @@ func main() {
 	for _, ri := range eng.Relations() {
 		log.Printf("eh-server: relation %s arity=%d cardinality=%d", ri.Name, ri.Arity, ri.Cardinality)
 	}
-
-	var slowW io.Writer
-	if *slowQueryMS > 0 && *slowQueryLog != "" {
-		f, err := os.OpenFile(*slowQueryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fatal(fmt.Errorf("slow-query log %s: %w", *slowQueryLog, err))
-		}
-		defer f.Close()
-		slowW = f
-	}
-	s := server.New(eng, server.Config{
-		Workers:            *workers,
-		QueueDepth:         *queue,
-		QueueWait:          *queueWait,
-		PlanCacheSize:      *planCache,
-		ResultCacheSize:    *resultCache,
-		DataDir:            *dataDir,
-		TraceRing:          *traceRing,
-		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
-		SlowQueryLog:       slowW,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	s.SetBootPhase("ready")
 
 	// Profiling stays off the serving listener: enabling it never
 	// exposes pprof to query clients, and a wedged worker pool can't
@@ -193,6 +219,9 @@ func main() {
 		defer close(done)
 		<-ctx.Done()
 		log.Printf("eh-server: shutdown signal, draining")
+		// Flip readiness first so load balancers stop routing here while
+		// in-flight requests drain.
+		s.SetBootPhase("draining")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -214,10 +243,10 @@ func main() {
 				log.Printf("eh-server: wal close: %v", err)
 			}
 		}
+		s.Close()
 	}()
 
-	log.Printf("eh-server: listening on %s", *addr)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := <-lnErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
 	<-done

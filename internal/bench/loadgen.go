@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -34,6 +33,9 @@ type LoadConfig struct {
 	// NoResultCache sets no_cache on every request so the run measures
 	// execution rather than result-cache lookups.
 	NoResultCache bool
+	// Retry configures shed-response (503/429) retries; the zero value
+	// takes the policy defaults (3 attempts, 50ms jittered backoff).
+	Retry RetryPolicy
 }
 
 // LoadReport aggregates a load-generation run. Throughput and the
@@ -48,6 +50,9 @@ type LoadReport struct {
 	P95        time.Duration
 	P99        time.Duration
 	Max        time.Duration
+	// Retries counts backoff-and-resend cycles taken on shed (503/429)
+	// responses under the retry policy.
+	Retries int64
 	// Cache/admission deltas over the run, read from /stats (zero when
 	// the server's stats endpoint is unavailable).
 	PlanHits   int64
@@ -132,6 +137,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		},
 	}
 
+	rc := NewRetryClient(client, cfg.Retry)
 	before, haveStats := fetchStats(client, url)
 
 	type reqBody struct {
@@ -165,7 +171,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			for i := w; time.Now().Before(deadline); i++ {
 				body := bodies[i%len(bodies)]
 				t0 := time.Now()
-				resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+				resp, err := rc.Post(url+"/query", "application/json", body)
 				d := time.Since(t0)
 				requests.Add(1)
 				if err != nil {
@@ -193,6 +199,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	rep := &LoadReport{
 		Requests: requests.Load(),
 		Errors:   errs.Load(),
+		Retries:  rc.Retries(),
 		Elapsed:  elapsed,
 	}
 	// Workers stop issuing at the deadline but drain in-flight requests
@@ -232,6 +239,7 @@ func (r *LoadReport) Format() string {
 	t.Rows = []Row{
 		{Label: "requests", Cells: []Cell{Num(float64(r.Requests))}},
 		{Label: "errors", Cells: []Cell{Num(float64(r.Errors))}},
+		{Label: "retries (shed resends)", Cells: []Cell{Num(float64(r.Retries))}},
 		{Label: "throughput (req/s)", Cells: []Cell{Num(r.Throughput)}},
 		{Label: "p50 latency", Cells: []Cell{Seconds(r.P50)}},
 		{Label: "p95 latency", Cells: []Cell{Seconds(r.P95)}},

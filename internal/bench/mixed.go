@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -52,6 +51,9 @@ type MixedConfig struct {
 	// NoResultCache sets no_cache on queries (churn invalidates the
 	// updated relation's entries anyway; this measures pure execution).
 	NoResultCache bool
+	// Retry configures shed-response (503/429) retries; the zero value
+	// takes the policy defaults (3 attempts, 50ms jittered backoff).
+	Retry RetryPolicy
 }
 
 // MixedReport aggregates one mixed run.
@@ -65,6 +67,10 @@ type MixedReport struct {
 	QueryP50        time.Duration
 	QueryP95        time.Duration
 	QueryP99        time.Duration
+
+	// Retries counts backoff-and-resend cycles taken on shed (503/429)
+	// responses across both worker pools.
+	Retries int64
 
 	// Update side.
 	UpdateBatches    int64
@@ -190,9 +196,10 @@ func RunMixed(cfg MixedConfig) (*MixedReport, error) {
 		queryLats  []time.Duration
 		updateLats []time.Duration
 	)
+	rc := NewRetryClient(client, cfg.Retry)
 	post := func(path string, body []byte) (bool, time.Duration) {
 		t0 := time.Now()
-		resp, err := client.Post(url+path, "application/json", bytes.NewReader(body))
+		resp, err := rc.Post(url+path, "application/json", body)
 		d := time.Since(t0)
 		if err != nil {
 			return false, d
@@ -285,6 +292,7 @@ func RunMixed(cfg MixedConfig) (*MixedReport, error) {
 		Elapsed:       elapsed,
 		QueryRequests: qRequests.Load(),
 		QueryErrors:   qErrors.Load(),
+		Retries:       rc.Retries(),
 		UpdateBatches: uBatches.Load(),
 		UpdateRows:    uRows.Load(),
 		UpdateErrors:  uErrors.Load(),
@@ -333,6 +341,7 @@ func (r *MixedReport) Format() string {
 		{Label: "query p50 latency", Cells: []Cell{Seconds(r.QueryP50)}},
 		{Label: "query p95 latency", Cells: []Cell{Seconds(r.QueryP95)}},
 		{Label: "query p99 latency", Cells: []Cell{Seconds(r.QueryP99)}},
+		{Label: "retries (shed resends)", Cells: []Cell{Num(float64(r.Retries))}},
 		{Label: "update batches", Cells: []Cell{Num(float64(r.UpdateBatches))}},
 		{Label: "update errors", Cells: []Cell{Num(float64(r.UpdateErrors))}},
 		{Label: "updates/s (batches)", Cells: []Cell{Num(r.UpdatesPerSecond)}},

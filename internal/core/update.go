@@ -11,6 +11,7 @@ import (
 
 	"emptyheaded/internal/delta"
 	"emptyheaded/internal/exec"
+	"emptyheaded/internal/fault"
 	"emptyheaded/internal/semiring"
 	"emptyheaded/internal/trace"
 	"emptyheaded/internal/trie"
@@ -448,6 +449,16 @@ func (e *Engine) Compact(name string) (bool, error) {
 	rd.compacting = true
 	e.upd.mu.Unlock()
 
+	// Chaos hook: Latency here widens the rebuild/install race window,
+	// Err aborts before anything is installed — either way the relation
+	// keeps serving its pre-compaction state.
+	if err := fault.Hit("core.compact"); err != nil {
+		e.upd.mu.Lock()
+		rd.compacting = false
+		e.upd.mu.Unlock()
+		return false, err
+	}
+
 	t0 := time.Now()
 	compacted := delta.Compact(view, e.Opts.Layout)
 
@@ -534,6 +545,9 @@ type WALConfig struct {
 	// the records, so they are conservatively kept (replay is
 	// idempotent; segments can be removed manually once snapshotted).
 	SnapshotDir string
+	// FS overrides the log's file operations — fault injection in
+	// chaos tests. Nil selects the real filesystem.
+	FS fault.FS
 }
 
 // ReplayStats reports what OpenWAL recovered on boot.
@@ -569,7 +583,7 @@ func (e *Engine) OpenWAL(cfg WALConfig) (ReplayStats, error) {
 		return ReplayStats{}, fmt.Errorf("core: WAL already open")
 	}
 	acc := newReplayAcc()
-	l, info, err := wal.Open(wal.Options{Dir: cfg.Dir, Sync: cfg.Sync, SyncInterval: cfg.SyncInterval},
+	l, info, err := wal.Open(wal.Options{Dir: cfg.Dir, Sync: cfg.Sync, SyncInterval: cfg.SyncInterval, FS: cfg.FS},
 		func(rec *wal.Record) error { return acc.add(rec, e) })
 	if err != nil {
 		return ReplayStats{}, err
@@ -613,6 +627,21 @@ func (e *Engine) CloseWAL() error {
 	err := e.upd.wal.Close()
 	e.upd.wal = nil
 	return err
+}
+
+// ProbeDurability checks whether durable WAL appends can succeed right
+// now: it writes, fsyncs, and removes a scratch file in the log
+// directory (repairing a log poisoned by an unrollbackable append — see
+// wal.Log.Probe). With no WAL open it reports success. The server's
+// durability circuit breaker polls it to leave degraded read-only mode.
+func (e *Engine) ProbeDurability() error {
+	e.upd.mu.Lock()
+	l := e.upd.wal
+	e.upd.mu.Unlock()
+	if l == nil {
+		return nil
+	}
+	return l.Probe()
 }
 
 // replayAcc folds WAL records into per-relation "last action per tuple"

@@ -1,13 +1,16 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"emptyheaded/internal/fault"
 	"emptyheaded/internal/semiring"
 	"emptyheaded/internal/set"
 	"emptyheaded/internal/trace"
@@ -17,11 +20,36 @@ import (
 // ErrTimeout is returned when Options.Timeout elapses during execution.
 var ErrTimeout = errors.New("exec: query timeout exceeded")
 
+// ErrCanceled is returned when Options.Ctx is cancelled mid-execution —
+// a client that hung up. A context that instead ran out its deadline
+// maps to ErrTimeout.
+var ErrCanceled = errors.New("exec: query canceled")
+
+// ErrExecPanic wraps a panic recovered at an executor boundary: the
+// query fails, the process keeps serving.
+var ErrExecPanic = errors.New("exec: panic in executor")
+
+// panicError converts a recovered loop-nest panic into an error
+// carrying the panic value and stack.
+func panicError(r any) error {
+	return fmt.Errorf("%w: %v\n%s", ErrExecPanic, r, debug.Stack())
+}
+
 // Run executes the plan and returns the result relation.
 func (p *Plan) Run() (*Result, error) {
 	if p.opts.Timeout > 0 {
 		p.deadline = time.Now().Add(p.opts.Timeout)
 		p.stop = new(atomic.Bool)
+	}
+	if ctx := p.opts.Ctx; ctx != nil && ctx.Done() != nil {
+		// Cooperative cancellation rides the same stop flag the timeout
+		// uses: the loop nest already checks it per candidate value.
+		if p.stop == nil {
+			p.stop = new(atomic.Bool)
+		}
+		flag := p.stop
+		unregister := context.AfterFunc(ctx, func() { flag.Store(true) })
+		defer unregister()
 	}
 	results := map[int]*trie.Trie{}
 	if err := p.runBag(p.Root, results); err != nil {
@@ -55,6 +83,20 @@ func (p *Plan) Run() (*Result, error) {
 		Stats:     p.stats,
 	}
 	return res, nil
+}
+
+// stopErr attributes a latched stop flag to its cause: a cancelled
+// request context, a spent context deadline, or the execution timeout.
+func (p *Plan) stopErr() error {
+	if ctx := p.opts.Ctx; ctx != nil {
+		switch ctx.Err() {
+		case context.Canceled:
+			return ErrCanceled
+		case context.DeadlineExceeded:
+			return fmt.Errorf("%w: request deadline exceeded", ErrTimeout)
+		}
+	}
+	return ErrTimeout
 }
 
 // resolveID follows dedup links.
@@ -203,8 +245,14 @@ func (ls *limitState) noteRow(row []uint32) {
 }
 
 // execBag runs the generic worst-case optimal join (Algorithm 1) for one
-// bag and materializes its output trie.
-func (p *Plan) execBag(bp *BagPlan) (*trie.Trie, error) {
+// bag and materializes its output trie. A panic anywhere below (the
+// inline single-worker path included) is recovered into ErrExecPanic.
+func (p *Plan) execBag(bp *BagPlan) (t *trie.Trie, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			t, err = nil, panicError(r)
+		}
+	}()
 	op := p.aggOp()
 	ex := &bagExec{p: p, bp: bp, op: op, cfg: p.opts.Intersect}
 	ex.perLevel = make([][]curRef, len(bp.Attrs))
@@ -297,7 +345,7 @@ func (p *Plan) execBag(bp *BagPlan) (*trie.Trie, error) {
 		return nil, err
 	}
 	if p.stop != nil && p.stop.Load() {
-		return nil, ErrTimeout
+		return nil, p.stopErr()
 	}
 	if ex.lim.stopped() {
 		p.truncated = true
@@ -501,6 +549,9 @@ func (ex *bagExec) runParallel() ([][]uint32, []float64, float64, error) {
 		nw = first.Card()
 	}
 	if nw <= 1 || len(ex.bp.Attrs) == 1 {
+		// Chaos hook (Latency/PanicKind); the inline path's panics are
+		// recovered by execBag.
+		_ = fault.Hit("exec.worker")
 		w := ex.newWorker()
 		w.initScratch(len(ex.bp.Attrs))
 		w.levelValues(0, first, ex.scalarFactor)
@@ -520,6 +571,11 @@ func (ex *bagExec) runParallel() ([][]uint32, []float64, float64, error) {
 	workers := make([]*worker, 0, nw)
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	// Panic isolation: a worker that panics must not kill the process —
+	// the first panic is captured, the stop flag unwinds its peers, and
+	// the whole bag fails with ErrExecPanic.
+	var panicOnce sync.Once
+	var panicErr error
 	for i := 0; i < nw; i++ {
 		// Each worker needs private cursor state below level 0.
 		w := ex.newWorker().withPrivateCursors()
@@ -528,6 +584,14 @@ func (ex *bagExec) runParallel() ([][]uint32, []float64, float64, error) {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicErr = panicError(r) })
+					if ex.p.stop != nil {
+						ex.p.stop.Store(true)
+					}
+				}
+			}()
 			for {
 				if ex.p.stop != nil && ex.p.stop.Load() {
 					return
@@ -535,6 +599,9 @@ func (ex *bagExec) runParallel() ([][]uint32, []float64, float64, error) {
 				if ex.lim.stopped() {
 					return
 				}
+				// Chaos hook: PanicKind exercises this recover, Latency
+				// stretches a worker mid-bag.
+				_ = fault.Hit("exec.worker")
 				lo := int(next.Add(int64(block))) - block
 				if lo >= len(vals) {
 					return
@@ -548,6 +615,9 @@ func (ex *bagExec) runParallel() ([][]uint32, []float64, float64, error) {
 		}(w)
 	}
 	wg.Wait()
+	if panicErr != nil {
+		return nil, nil, 0, panicErr
+	}
 	if ex.lc != nil {
 		for _, w := range workers {
 			ex.mergeCounters(w)
@@ -705,10 +775,11 @@ func (w *worker) levelValues(lvl int, candidates set.Set, ann float64) {
 			return false
 		}
 		if ex.p.stop != nil {
-			// Cooperative timeout: cheap flag check per value, wall
-			// clock consulted periodically.
+			// Cooperative timeout/cancellation: cheap flag check per
+			// value, wall clock consulted periodically (only when a
+			// timeout armed a deadline — a ctx-only stop flag has none).
 			w.tick++
-			if w.tick&1023 == 0 && time.Now().After(ex.p.deadline) {
+			if w.tick&1023 == 0 && !ex.p.deadline.IsZero() && time.Now().After(ex.p.deadline) {
 				ex.p.stop.Store(true)
 			}
 			if ex.p.stop.Load() {

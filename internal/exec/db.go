@@ -11,6 +11,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -516,6 +517,12 @@ type Options struct {
 	// the tuples in flight when the stop latches). It applies only to
 	// un-aggregated rules; aggregates execute in full. 0 means no limit.
 	Limit int
+	// Ctx, when non-nil, cancels execution cooperatively: a cancelled
+	// context (client disconnect) or spent context deadline trips the
+	// loop nest's stop flag at the next per-value check. Run returns
+	// ErrCanceled or ErrTimeout accordingly. Per-request, not part of a
+	// cacheable plan — servers thread it through Prepared.RunWith.
+	Ctx context.Context
 }
 
 func (o Options) layout() trie.LayoutFunc {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"time"
 
 	"emptyheaded/internal/datalog"
@@ -68,6 +69,9 @@ type RunParams struct {
 	// Trace, when non-nil, receives one span per executed bag plus the
 	// assembly join.
 	Trace *trace.Trace
+	// Ctx cancels execution cooperatively (client disconnect, request
+	// deadline — see Options.Ctx); nil runs without a watcher.
+	Ctx context.Context
 }
 
 // RunWith executes the prepared query with per-run parameters.
@@ -75,10 +79,12 @@ func (pr *Prepared) RunWith(db *DB, rp RunParams) (*Result, error) {
 	if pr.plan == nil {
 		opts := pr.opts
 		opts.Limit = rp.Limit
+		opts.Ctx = rp.Ctx
 		return RunProgram(db, pr.Prog, opts)
 	}
 	p := pr.plan.Clone(db)
 	p.opts.Limit = rp.Limit
+	p.opts.Ctx = rp.Ctx
 	if rp.Collect {
 		p.stats = &ExecStats{}
 	}
@@ -103,6 +109,7 @@ func (p *Plan) Clone(db *DB) *Plan {
 	np.truncated = false
 	np.stats = nil
 	np.tr = nil
+	np.opts.Ctx = nil
 	m := map[*BagPlan]*BagPlan{}
 	np.Root = cloneBag(p.Root, m)
 	np.Assembly = cloneBag(p.Assembly, m)

@@ -1,0 +1,287 @@
+// Package fault is a deterministic, seeded fault-injection layer for
+// the serving stack's durability and execution paths.
+//
+// Faults are described by Rules bound to named injection points
+// ("wal.sync", "storage.writefile", "exec.worker", ...). An Injector
+// evaluates the rules with a seeded RNG, so a failing chaos schedule is
+// reproduced by its seed alone. Injection reaches the code under test
+// two ways:
+//
+//   - the FS/File interfaces in fs.go wrap the file operations that
+//     internal/wal and internal/storage write through, and NewFS
+//     returns an implementation that consults an Injector before each
+//     op;
+//   - Hit(point) consults a process-global Injector installed with
+//     Enable, for probabilistic points inside compaction and the exec
+//     pool that have no file handle to wrap.
+//
+// Everything is off by default: production code paths pay one nil
+// atomic load (Hit) or zero overhead (FS left nil selects the direct
+// os passthrough).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand"
+)
+
+// Kind is the failure mode a Rule injects.
+type Kind uint8
+
+const (
+	// Err fails the operation cleanly: nothing is written, the rule's
+	// error (default ErrInjected) is returned.
+	Err Kind = iota
+	// ShortWrite writes a prefix of the buffer and returns the short
+	// count with an error — a truthful partial write (disk full).
+	ShortWrite
+	// Torn writes a prefix of the buffer but reports complete success —
+	// a lying device, observable only after reopen. Models the tear a
+	// power cut leaves mid-sector.
+	Torn
+	// Latency delays the operation, then lets it proceed normally.
+	Latency
+	// PanicKind panics at the injection point (exec pool, compaction) —
+	// exercising the panic-isolation boundaries.
+	PanicKind
+)
+
+// String names the kind for schedules and events.
+func (k Kind) String() string {
+	switch k {
+	case Err:
+		return "err"
+	case ShortWrite:
+		return "short-write"
+	case Torn:
+		return "torn"
+	case Latency:
+		return "latency"
+	case PanicKind:
+		return "panic"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ErrInjected is the default error injected by Err/ShortWrite rules.
+var ErrInjected = errors.New("fault: injected error")
+
+// Rule arms one failure at one injection point.
+type Rule struct {
+	// Point names the injection point, e.g. "wal.sync".
+	Point string
+	// Kind is the failure mode.
+	Kind Kind
+	// OnCall, when > 0, fires deterministically on every matching call
+	// whose per-point sequence number is >= OnCall. When 0, the rule
+	// fires probabilistically with Prob.
+	OnCall uint64
+	// Prob is the per-call fire probability for OnCall == 0 rules,
+	// drawn from the injector's seeded RNG.
+	Prob float64
+	// Times bounds how often the rule fires: 0 means once for OnCall
+	// rules and unlimited for probabilistic ones; < 0 means unlimited.
+	Times int
+	// PathSubstr, when non-empty, restricts file-op rules to paths
+	// containing the substring.
+	PathSubstr string
+	// Err overrides ErrInjected as the injected error.
+	Err error
+	// Sleep is the Latency kind's delay.
+	Sleep time.Duration
+	// Frac is the fraction of the buffer ShortWrite/Torn rules write
+	// (default 0.5; clamped so at least one byte is dropped).
+	Frac float64
+}
+
+// Event records one fired rule, for reproduction output.
+type Event struct {
+	Point string
+	Call  uint64
+	Kind  Kind
+	Path  string
+}
+
+// Injector evaluates rules at injection points with a seeded RNG.
+// Methods are safe for concurrent use.
+type Injector struct {
+	seed int64
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []*ruleState
+	calls  map[string]uint64
+	events []Event
+}
+
+type ruleState struct {
+	Rule
+	fired int
+}
+
+// New returns an injector whose probabilistic rules draw from a RNG
+// seeded with seed; the same seed and call sequence replays the same
+// fault schedule.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(seed)),
+		calls: map[string]uint64{},
+	}
+	in.Add(rules...)
+	return in
+}
+
+// Add arms more rules; useful for enabling faults only after setup
+// (boot, WAL replay) has gone through the wrapped ops cleanly.
+func (in *Injector) Add(rules ...Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range rules {
+		in.rules = append(in.rules, &ruleState{Rule: rules[i]})
+	}
+}
+
+// Clear disarms every rule (in-flight faults stop; counters and the
+// event log survive). The recovery half of breaker tests.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// Seed returns the seed the injector was built with.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// Events returns the fired-rule log.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// String renders the seed and fired events — printed by chaos tests on
+// failure so a schedule can be replayed from the log alone.
+func (in *Injector) String() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fault schedule seed=%d fired=%d", in.seed, len(in.events))
+	for _, ev := range in.events {
+		fmt.Fprintf(&sb, "\n  %s call=%d kind=%s", ev.Point, ev.Call, ev.Kind)
+		if ev.Path != "" {
+			fmt.Fprintf(&sb, " path=%s", ev.Path)
+		}
+	}
+	return sb.String()
+}
+
+// action is the resolved effect of a fired rule.
+type action struct {
+	kind  Kind
+	err   error
+	sleep time.Duration
+	frac  float64
+}
+
+func (a *action) error() error {
+	if a.err != nil {
+		return a.err
+	}
+	return ErrInjected
+}
+
+// at advances point's call counter and returns the effect to apply, or
+// nil to proceed normally. The first matching armed rule wins.
+func (in *Injector) at(point, path string) *action {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls[point]++
+	n := in.calls[point]
+	for _, rs := range in.rules {
+		if rs.Point != point {
+			continue
+		}
+		if rs.PathSubstr != "" && !strings.Contains(path, rs.PathSubstr) {
+			continue
+		}
+		limit := rs.Times
+		if limit == 0 {
+			if rs.OnCall > 0 {
+				limit = 1
+			} else {
+				limit = math.MaxInt
+			}
+		} else if limit < 0 {
+			limit = math.MaxInt
+		}
+		if rs.fired >= limit {
+			continue
+		}
+		var fire bool
+		if rs.OnCall > 0 {
+			fire = n >= rs.OnCall
+		} else {
+			fire = in.rng.Float64() < rs.Prob
+		}
+		if !fire {
+			continue
+		}
+		rs.fired++
+		in.events = append(in.events, Event{Point: point, Call: n, Kind: rs.Kind, Path: path})
+		frac := rs.Frac
+		if frac <= 0 || frac >= 1 {
+			frac = 0.5
+		}
+		return &action{kind: rs.Kind, err: rs.Err, sleep: rs.Sleep, frac: frac}
+	}
+	return nil
+}
+
+// hit applies a non-file injection point: Latency sleeps, PanicKind
+// panics, everything else returns the injected error.
+func (in *Injector) hit(point string) error {
+	act := in.at(point, "")
+	if act == nil {
+		return nil
+	}
+	switch act.kind {
+	case Latency:
+		time.Sleep(act.sleep)
+		return nil
+	case PanicKind:
+		panic(fmt.Sprintf("fault: injected panic at %s", point))
+	default:
+		return act.error()
+	}
+}
+
+// active is the process-global injector Hit consults; nil when
+// injection is disabled (the default).
+var active atomic.Pointer[Injector]
+
+// Enable installs in as the process-global injector behind Hit and
+// returns a function restoring the previous one. Tests that Enable an
+// injector must not run in parallel with each other.
+func Enable(in *Injector) (restore func()) {
+	prev := active.Swap(in)
+	return func() { active.Store(prev) }
+}
+
+// Hit evaluates the process-global injector at point. With no injector
+// enabled it costs one nil atomic load and returns nil — the hook
+// compaction and the exec pool leave in production code.
+func Hit(point string) error {
+	in := active.Load()
+	if in == nil {
+		return nil
+	}
+	return in.hit(point)
+}

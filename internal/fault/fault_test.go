@@ -1,0 +1,203 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Same seed, same call sequence → identical fault schedules.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []Event {
+		in := New(seed, Rule{Point: "p", Kind: Err, Prob: 0.3, Times: -1})
+		for i := 0; i < 200; i++ {
+			in.at("p", "")
+		}
+		return in.Events()
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("probabilistic rule never fired in 200 calls at p=0.3")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedules diverged: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-call schedules")
+	}
+}
+
+func TestOnCallAndTimes(t *testing.T) {
+	in := New(1, Rule{Point: "p", Kind: Err, OnCall: 3}) // Times 0 → once
+	for i := 1; i <= 5; i++ {
+		act := in.at("p", "")
+		if (i == 3) != (act != nil) {
+			t.Fatalf("call %d: fired=%v, want fire only on call 3", i, act != nil)
+		}
+	}
+	// OnCall with unlimited Times: persistent failure from call 2 on.
+	in = New(1, Rule{Point: "q", Kind: Err, OnCall: 2, Times: -1})
+	for i := 1; i <= 5; i++ {
+		act := in.at("q", "")
+		if (i >= 2) != (act != nil) {
+			t.Fatalf("call %d: fired=%v, want fire from call 2 on", i, act != nil)
+		}
+	}
+}
+
+func TestPathSubstrFilter(t *testing.T) {
+	in := New(1, Rule{Point: "p", Kind: Err, OnCall: 1, Times: -1, PathSubstr: "wal-"})
+	if act := in.at("p", "/tmp/other.log"); act != nil {
+		t.Fatal("rule fired on non-matching path")
+	}
+	if act := in.at("p", "/tmp/wal-00000001.log"); act == nil {
+		t.Fatal("rule did not fire on matching path")
+	}
+}
+
+func TestClearDisarms(t *testing.T) {
+	in := New(1, Rule{Point: "p", Kind: Err, OnCall: 1, Times: -1})
+	if in.at("p", "") == nil {
+		t.Fatal("armed rule did not fire")
+	}
+	in.Clear()
+	if in.at("p", "") != nil {
+		t.Fatal("cleared rule still fired")
+	}
+	if len(in.Events()) != 1 {
+		t.Fatalf("event log lost on Clear: %d events", len(in.Events()))
+	}
+}
+
+func TestHitDisabledIsNil(t *testing.T) {
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("Hit with no injector: %v", err)
+	}
+}
+
+func TestEnableRestore(t *testing.T) {
+	in := New(1, Rule{Point: "x", Kind: Err, OnCall: 1, Times: -1})
+	restore := Enable(in)
+	if err := Hit("x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit with enabled injector: %v", err)
+	}
+	restore()
+	if err := Hit("x"); err != nil {
+		t.Fatalf("Hit after restore: %v", err)
+	}
+}
+
+func TestHitPanicKind(t *testing.T) {
+	in := New(1, Rule{Point: "x", Kind: PanicKind, OnCall: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PanicKind did not panic")
+		}
+	}()
+	in.hit("x")
+}
+
+func TestFSPassthroughAndShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := New(1) // no rules: pure passthrough
+	fs := NewFS(in, "t")
+	path := filepath.Join(dir, "f")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("hello")); err != nil || n != 5 {
+		t.Fatalf("passthrough write: n=%d err=%v", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	in.Add(Rule{Point: "t.write", Kind: ShortWrite, OnCall: 1, Frac: 0.5})
+	f, err = fs.OpenFile(path, os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write returned err=%v", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write wrote %d bytes, want 5", n)
+	}
+	// Fault exhausted (Times defaults to once for OnCall rules): the
+	// next write proceeds.
+	if _, err := f.Write([]byte("ab")); err != nil {
+		t.Fatalf("write after exhausted fault: %v", err)
+	}
+	f.Close()
+	b, _ := os.ReadFile(path)
+	if string(b) != "01234ab" {
+		t.Fatalf("file content %q, want %q", b, "01234ab")
+	}
+}
+
+func TestFSTornWriteLies(t *testing.T) {
+	dir := t.TempDir()
+	in := New(1, Rule{Point: "t.write", Kind: Torn, OnCall: 1, Frac: 0.5})
+	fs := NewFS(in, "t")
+	path := filepath.Join(dir, "f")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if err != nil || n != 10 {
+		t.Fatalf("torn write must report success: n=%d err=%v", n, err)
+	}
+	f.Close()
+	b, _ := os.ReadFile(path)
+	if len(b) != 5 {
+		t.Fatalf("torn write persisted %d bytes, want 5", len(b))
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	in := New(1, Rule{Point: "p", Kind: Latency, OnCall: 1, Sleep: 20 * time.Millisecond})
+	restore := Enable(in)
+	defer restore()
+	t0 := time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Fatalf("latency injection slept %v, want >= 20ms", d)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	in := New(7, Rule{Point: "p", Kind: Err, OnCall: 1})
+	in.at("p", "/x")
+	s := in.String()
+	for _, want := range []string{"seed=7", "p call=1", "kind=err", "path=/x"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("schedule %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// File is the open-file surface the WAL appends through. *os.File
+// implements it.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Name() string
+}
+
+// FS is the file-operation surface internal/wal and internal/storage
+// route their write paths through. OS is the direct passthrough; NewFS
+// wraps it with an Injector.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// OS is the passthrough FS used when no injector is wired in.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// NewFS wraps the real filesystem with injection points named
+// prefix+".open", ".read", ".writefile", ".rename", ".remove",
+// ".truncate", ".mkdir" for FS ops and prefix+".write", ".sync",
+// ".close", ".ftruncate" for ops on files it opened.
+func NewFS(in *Injector, prefix string) FS {
+	return faultFS{in: in, prefix: prefix}
+}
+
+type faultFS struct {
+	in     *Injector
+	prefix string
+}
+
+func (f faultFS) point(op string) string { return f.prefix + "." + op }
+
+// opErr evaluates a point where the only possible effects are latency
+// and failure (any non-latency kind fails the op).
+func (f faultFS) opErr(op, path string) error {
+	act := f.in.at(f.point(op), path)
+	if act == nil {
+		return nil
+	}
+	if act.kind == Latency {
+		time.Sleep(act.sleep)
+		return nil
+	}
+	return act.error()
+}
+
+func (f faultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.opErr("open", name); err != nil {
+		return nil, err
+	}
+	file, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fs: f}, nil
+}
+
+func (f faultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.opErr("read", name); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(name)
+}
+
+func (f faultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	act := f.in.at(f.point("writefile"), name)
+	if act != nil {
+		switch act.kind {
+		case Latency:
+			time.Sleep(act.sleep)
+		case ShortWrite, Torn:
+			// Persist a prefix; Torn still reports success.
+			n := shortLen(len(data), act.frac)
+			_ = os.WriteFile(name, data[:n], perm)
+			if act.kind == Torn {
+				return nil
+			}
+			return fmt.Errorf("%w: short write (%d of %d bytes)", act.error(), n, len(data))
+		default:
+			return act.error()
+		}
+	}
+	return os.WriteFile(name, data, perm)
+}
+
+func (f faultFS) Rename(oldpath, newpath string) error {
+	if err := f.opErr("rename", newpath); err != nil {
+		return err
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+func (f faultFS) Remove(name string) error {
+	if err := f.opErr("remove", name); err != nil {
+		return err
+	}
+	return os.Remove(name)
+}
+
+func (f faultFS) Truncate(name string, size int64) error {
+	if err := f.opErr("truncate", name); err != nil {
+		return err
+	}
+	return os.Truncate(name, size)
+}
+
+func (f faultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.opErr("mkdir", path); err != nil {
+		return err
+	}
+	return os.MkdirAll(path, perm)
+}
+
+// faultFile wraps an open file with write/sync/close/truncate points.
+type faultFile struct {
+	f  *os.File
+	fs faultFS
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	act := w.fs.in.at(w.fs.point("write"), w.f.Name())
+	if act == nil {
+		return w.f.Write(p)
+	}
+	switch act.kind {
+	case Latency:
+		time.Sleep(act.sleep)
+		return w.f.Write(p)
+	case ShortWrite:
+		n := shortLen(len(p), act.frac)
+		n, _ = w.f.Write(p[:n])
+		return n, fmt.Errorf("%w: short write (%d of %d bytes)", act.error(), n, len(p))
+	case Torn:
+		// The device lies: a prefix reaches the platter, the caller
+		// sees success. Only reopen/replay can observe the tear.
+		n := shortLen(len(p), act.frac)
+		if _, err := w.f.Write(p[:n]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	default:
+		return 0, act.error()
+	}
+}
+
+func (w *faultFile) Sync() error {
+	if err := w.fs.opErr("sync", w.f.Name()); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error {
+	if err := w.fs.opErr("close", w.f.Name()); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+func (w *faultFile) Truncate(size int64) error {
+	if err := w.fs.opErr("ftruncate", w.f.Name()); err != nil {
+		return err
+	}
+	return w.f.Truncate(size)
+}
+
+func (w *faultFile) Stat() (os.FileInfo, error) { return w.f.Stat() }
+func (w *faultFile) Name() string               { return w.f.Name() }
+
+// shortLen is the byte count a ShortWrite/Torn rule lets through:
+// frac of the buffer, at least one byte short of all of it.
+func shortLen(n int, frac float64) int {
+	k := int(float64(n) * frac)
+	if k >= n && n > 0 {
+		k = n - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}

@@ -52,6 +52,12 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	defer timer.Stop()
 	select {
 	case a.slots <- struct{}{}:
+		// A cancelled waiter must never hold a slot: if the context
+		// raced the slot send and both were ready, give the slot back.
+		if err := ctx.Err(); err != nil {
+			<-a.slots
+			return nil, err
+		}
 	case <-timer.C:
 		a.rejectedTimeout.Add(1)
 		return nil, errQueueTimeout

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -196,7 +197,7 @@ func TestKillAndRestartDurability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, _, err := refSrv.runQuery(&QueryRequest{Query: q, Limit: 10000}, 10000, nil)
+		want, _, err := refSrv.runQuery(context.Background(), &QueryRequest{Query: q, Limit: 10000}, 10000, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -135,6 +135,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&sb, "emptyheaded_admission_rejected_total{reason=\"queue_full\"} %d\n", st.Admission.RejectedFull)
 	fmt.Fprintf(&sb, "emptyheaded_admission_rejected_total{reason=\"queue_timeout\"} %d\n", st.Admission.RejectedTimeout)
 
+	// Failure contract: panics survived, clients that hung up, budgets
+	// blown, and the durability breaker behind degraded read-only mode.
+	counterHeader("emptyheaded_recovered_panics_total", "Panics recovered at the request and executor boundaries.")
+	fmt.Fprintf(&sb, "emptyheaded_recovered_panics_total %d\n", s.res.recoveredPanics.Load())
+	counterHeader("emptyheaded_query_cancelled_total", "Queries abandoned by their client before completion.")
+	fmt.Fprintf(&sb, "emptyheaded_query_cancelled_total %d\n", s.res.cancelledClients.Load())
+	counterHeader("emptyheaded_query_deadline_exceeded_total", "Queries stopped by the per-request deadline budget.")
+	fmt.Fprintf(&sb, "emptyheaded_query_deadline_exceeded_total %d\n", s.res.deadlineExceeded.Load())
+	counterHeader("emptyheaded_breaker_trips_total", "Durability circuit-breaker trips into degraded mode.")
+	fmt.Fprintf(&sb, "emptyheaded_breaker_trips_total %d\n", s.brk.trips.Load())
+	degraded := 0.0
+	if !s.brk.allow() {
+		degraded = 1
+	}
+	gauge("emptyheaded_degraded", "1 while the server is in degraded read-only mode, else 0.", degraded)
+	counterHeader("emptyheaded_degraded_rejected_total", "Writes fast-failed while degraded.")
+	fmt.Fprintf(&sb, "emptyheaded_degraded_rejected_total %d\n", s.res.degradedRejected.Load())
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(sb.String()))

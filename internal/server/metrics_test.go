@@ -39,6 +39,15 @@ func TestMetricsEndpoint(t *testing.T) {
 		"emptyheaded_result_cache_hits_total 1",
 		"emptyheaded_admission_admitted_total",
 		"emptyheaded_relations 1",
+		"# TYPE emptyheaded_recovered_panics_total counter",
+		"emptyheaded_recovered_panics_total 0",
+		"emptyheaded_query_cancelled_total 0",
+		"emptyheaded_query_deadline_exceeded_total 0",
+		"# TYPE emptyheaded_breaker_trips_total counter",
+		"emptyheaded_breaker_trips_total 0",
+		"# TYPE emptyheaded_degraded gauge",
+		"emptyheaded_degraded 0",
+		"emptyheaded_degraded_rejected_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, text)

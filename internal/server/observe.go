@@ -192,12 +192,12 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	idStr := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
 	id, err := strconv.ParseUint(idStr, 10, 64)
 	if err != nil {
-		writeErr(w, badRequest("bad trace id %q", idStr))
+		s.writeErr(w, badRequest("bad trace id %q", idStr))
 		return
 	}
 	tr, ok := s.rec.Get(id)
 	if !ok {
-		writeErr(w, &httpError{http.StatusNotFound, "trace not retained (ring buffer wrapped or id never finished)"})
+		s.writeErr(w, &httpError{http.StatusNotFound, "trace not retained (ring buffer wrapped or id never finished)"})
 		return
 	}
 	writeJSON(w, http.StatusOK, tr)

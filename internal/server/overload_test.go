@@ -1,0 +1,141 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionCancelledWaiterNeverAcquires: a waiter whose context is
+// cancelled must not end up holding a worker slot — neither when the
+// cancellation arrives while queued, nor when it races the slot grant.
+func TestAdmissionCancelledWaiterNeverAcquires(t *testing.T) {
+	a := newAdmission(1, 4, time.Second)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Waiter cancelled while queued.
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		rel, err := a.acquire(ctx)
+		if rel != nil {
+			rel()
+		}
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-got; err != context.Canceled {
+		t.Fatalf("queued waiter err = %v, want context.Canceled", err)
+	}
+
+	// Pre-cancelled context racing an immediately-free slot: release the
+	// held slot first so both select cases are ready at once.
+	release()
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	for i := 0; i < 100; i++ {
+		if rel, err := a.acquire(cctx); err == nil {
+			rel()
+			t.Fatal("cancelled context acquired a slot")
+		}
+	}
+
+	// The slot was never leaked: a healthy acquire succeeds instantly.
+	rel2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("slot leaked to a cancelled waiter: %v", err)
+	}
+	rel2()
+	if st := a.stats(); st.Active != 0 {
+		t.Fatalf("active = %d after all releases", st.Active)
+	}
+}
+
+// TestOverloadShedsFast: a saturated 1-slot pool sheds a burst with
+// immediate 503s carrying Retry-After, without goroutine pileup, and
+// serves again the moment the slot frees.
+func TestOverloadShedsFast(t *testing.T) {
+	s, ts := newTestService(t, Config{
+		Workers:    1,
+		QueueDepth: 1,
+		QueueWait:  100 * time.Millisecond,
+		RetryAfter: 2 * time.Second,
+	})
+
+	// Occupy the only worker slot directly.
+	release, err := s.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g0 := runtime.NumGoroutine()
+	const burst = 100
+	var wg sync.WaitGroup
+	codes := make([]int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _ := postJSON(t, ts.URL+"/query", QueryRequest{Query: triangleQ, NoCache: true}, nil)
+			codes[i] = code
+		}(i)
+	}
+	wg.Wait()
+	shed := 0
+	for i, code := range codes {
+		switch code {
+		case http.StatusServiceUnavailable:
+			shed++
+		default:
+			t.Fatalf("burst request %d: status %d", i, code)
+		}
+	}
+	if shed != burst {
+		t.Fatalf("shed %d of %d requests with a held slot", shed, burst)
+	}
+
+	// One representative rejection carries the Retry-After contract.
+	body, err := json.Marshal(QueryRequest{Query: triangleQ, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") != "2" {
+		t.Fatalf("shed response: %d Retry-After=%q, want 503 with \"2\"", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// No goroutine pileup: shed requests left nothing behind. (Allow
+	// slack for the HTTP keep-alive pool and runtime helpers.)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= g0+20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after shed burst", g0, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The slot frees: service resumes at once.
+	release()
+	runQuery(t, ts.URL, triangleQ)
+
+	st := s.adm.stats()
+	if st.RejectedFull+st.RejectedTimeout < burst {
+		t.Fatalf("admission stats did not account the shed burst: %+v", st)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,21 @@ type Config struct {
 	// SlowQueryLog receives the slow-query JSON lines (default
 	// os.Stderr when SlowQueryThreshold is set).
 	SlowQueryLog io.Writer
+	// QueryDeadline bounds one /query request end to end — admission
+	// wait, plan, execute, and render all share the budget — via a
+	// context deadline that trips the loop nest's cooperative stop
+	// flag. 0 means no budget (the request context still cancels on
+	// client disconnect).
+	QueryDeadline time.Duration
+	// RetryAfter is the Retry-After hint attached to shed 503s
+	// (admission, degraded mode, durability failures); default 1s.
+	RetryAfter time.Duration
+	// BreakerThreshold is how many consecutive durability failures trip
+	// the read-only circuit breaker (default 3; < 0 disables it).
+	BreakerThreshold int
+	// BreakerProbe paces the tripped breaker's background disk probes
+	// (default 1s).
+	BreakerProbe time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +122,15 @@ func (c Config) withDefaults() Config {
 	if c.SlowQueryThreshold > 0 && c.SlowQueryLog == nil {
 		c.SlowQueryLog = os.Stderr
 	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerProbe <= 0 {
+		c.BreakerProbe = time.Second
+	}
 	return c
 }
 
@@ -131,6 +156,13 @@ type Server struct {
 	// pre-restore result whose epoch stamps can collide with the restored
 	// database's epochs and be served as fresh.
 	gen atomic.Uint64
+
+	// brk is the durability circuit breaker behind degraded read-only
+	// mode; res holds the failure-contract counters /metrics exports;
+	// bootPhase (a string) feeds /readyz.
+	brk       *breaker
+	res       resilience
+	bootPhase atomic.Value
 
 	endpoints map[string]*latencyWindow
 }
@@ -168,6 +200,10 @@ func New(eng *core.Engine, cfg Config) *Server {
 			"/stats":     newLatencyWindow(),
 		},
 	}
+	s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerProbe, eng.ProbeDurability)
+	// Embedders serve a pre-loaded engine: ready from the start.
+	// eh-server walks the phase through its boot sequence instead.
+	s.bootPhase.Store("ready")
 	// Feed the core subsystems' latency events (WAL fsyncs, overlay
 	// compactions) into the server's histograms.
 	eng.SetObservers(core.Observers{
@@ -176,6 +212,10 @@ func New(eng *core.Engine, cfg Config) *Server {
 	})
 	return s
 }
+
+// Close releases the server's background resources (the breaker's
+// probe loop). The HTTP listener is owned by the caller.
+func (s *Server) Close() { s.brk.close() }
 
 // Handler returns the service's HTTP mux.
 func (s *Server) Handler() http.Handler {
@@ -195,18 +235,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	mux.HandleFunc("/readyz", s.handleReady)
 	return mux
 }
 
-// statusRecorder captures the response code for error accounting.
+// statusRecorder captures the response code for error accounting and
+// whether anything was written (so panic recovery knows if a 500 can
+// still go out).
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
 }
 
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
@@ -214,8 +264,20 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		t0 := time.Now()
+		// Panic isolation, outer boundary: a handler panic becomes a
+		// 500 and the server keeps serving. (Query/update handlers also
+		// recover closer in, to attach the trace ID.)
+		defer func() {
+			if v := recover(); v != nil {
+				s.res.recoveredPanics.Add(1)
+				if !rec.wrote {
+					writeJSON(rec, http.StatusInternalServerError,
+						map[string]string{"error": fmt.Sprintf("internal panic: %v", v)})
+				}
+			}
+			lw.observe(time.Since(t0), rec.code >= 400)
+		}()
 		h(rec, r)
-		lw.observe(time.Since(t0), rec.code >= 400)
 	}
 }
 
@@ -237,21 +299,67 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
+// statusClientClosedRequest is the de-facto "client closed request"
+// status (nginx's 499): the client is gone, the code is for accounting.
+const statusClientClosedRequest = 499
+
+// errStatus maps err to its HTTP status and books the failure-contract
+// counters. One classification point: every handler error goes through
+// here exactly once.
+func (s *Server) errStatus(err error) int {
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
-		code = he.code
-	case errors.Is(err, errQueueFull), errors.Is(err, errQueueTimeout),
-		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// Context errors reach here when the client went away while the
-		// request waited for a worker slot.
-		code = http.StatusServiceUnavailable
-	case errors.Is(err, exec.ErrTimeout):
-		code = http.StatusGatewayTimeout
+		return he.code
+	case errors.Is(err, errDegraded):
+		s.res.degradedRejected.Add(1)
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errQueueFull), errors.Is(err, errQueueTimeout):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrDurability):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, exec.ErrCanceled), errors.Is(err, context.Canceled):
+		// The client went away (mid-execution or while queued).
+		s.res.cancelledClients.Add(1)
+		return statusClientClosedRequest
+	case errors.Is(err, exec.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		s.res.deadlineExceeded.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, exec.ErrExecPanic):
+		s.res.recoveredPanics.Add(1)
+		return http.StatusInternalServerError
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	return http.StatusInternalServerError
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	s.writeErrTrace(w, err, 0)
+}
+
+// writeErrTrace renders err with its mapped status; shed responses
+// (503) carry the Retry-After hint that defines the client side of the
+// failure contract, and a non-zero trace ID rides along so a failed
+// request can be pulled from /debug/trace/<id>.
+func (s *Server) writeErrTrace(w http.ResponseWriter, err error, traceID uint64) {
+	code := s.errStatus(err)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", s.retryAfterValue())
+	}
+	body := map[string]any{"error": err.Error()}
+	if traceID != 0 {
+		body["trace_id"] = traceID
+	}
+	writeJSON(w, code, body)
+}
+
+// retryAfterValue renders the configured Retry-After hint in whole
+// seconds (minimum 1 — a zero would invite an immediate stampede).
+func (s *Server) retryAfterValue() string {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // QueryRequest is the /query body.
@@ -352,16 +460,16 @@ func resultCacheKey(gen uint64, fp string, limit int, columns bool) string {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		s.writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
 		return
 	}
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, badRequest("bad request body: %v", err))
+		s.writeErr(w, badRequest("bad request body: %v", err))
 		return
 	}
 	if req.Query == "" {
-		writeErr(w, badRequest("missing \"query\""))
+		s.writeErr(w, badRequest("missing \"query\""))
 		return
 	}
 	limit := req.Limit
@@ -370,6 +478,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	t0 := time.Now()
 	tr := s.rec.Start("query")
+
+	// The request context cancels on client disconnect; a configured
+	// query deadline shares the same cooperative-stop mechanism and
+	// bounds the whole request — admission wait included.
+	ctx := r.Context()
+	if s.cfg.QueryDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryDeadline)
+		defer cancel()
+	}
+	// Inner panic boundary: closer in than instrument's so the 500 can
+	// carry this request's trace ID.
+	defer func() {
+		if v := recover(); v != nil {
+			s.res.recoveredPanics.Add(1)
+			tr.SetError(fmt.Sprintf("panic: %v", v))
+			s.obs.finishTrace(tr)
+			if rec, ok := w.(*statusRecorder); !ok || !rec.wrote {
+				writeJSON(w, http.StatusInternalServerError,
+					map[string]any{"error": fmt.Sprintf("internal panic: %v", v), "trace_id": tr.ID})
+			}
+		}
+	}()
 
 	// Fast path: an exact-text repeat whose result is cached is served
 	// without taking a worker slot — a map lookup shouldn't queue behind
@@ -391,20 +522,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// and GHD compilation included, since on a cache miss the optimizer
 	// is the expensive step the plan cache exists to amortize.
 	sp := tr.Begin("admission")
-	release, err := s.adm.acquire(r.Context())
+	release, err := s.adm.acquire(ctx)
 	tr.End(sp)
 	if err != nil {
 		tr.SetError(err.Error())
 		s.obs.finishTrace(tr)
-		writeErr(w, err)
+		s.writeErrTrace(w, err, tr.ID)
 		return
 	}
-	resp, az, err := s.runQuery(&req, limit, tr)
+	resp, az, err := s.runQuery(ctx, &req, limit, tr)
 	release()
 	if err != nil {
 		tr.SetError(err.Error())
 		s.obs.finishTrace(tr)
-		writeErr(w, err)
+		s.writeErrTrace(w, err, tr.ID)
 		return
 	}
 	resp.ElapsedUS = time.Since(t0).Microseconds()
@@ -476,8 +607,9 @@ func mapAttrs(attrs []string, m map[string]string) []string {
 	return out
 }
 
-// runQuery executes one admitted /query request.
-func (s *Server) runQuery(req *QueryRequest, limit int, tr *trace.Trace) (QueryResponse, *analyzeData, error) {
+// runQuery executes one admitted /query request. ctx cancels execution
+// cooperatively (client disconnect, query deadline).
+func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr *trace.Trace) (QueryResponse, *analyzeData, error) {
 	// Fork per request: the query runs against a consistent snapshot of
 	// relations + dictionary (a concurrent /load can't swap data mid
 	// query), and intermediate head relations stay session-local. The
@@ -532,10 +664,11 @@ func (s *Server) runQuery(req *QueryRequest, limit int, tr *trace.Trace) (QueryR
 	// smaller truncated sample (see exec.Options.Limit). Aggregates and
 	// other non-listing shapes run to completion.
 	sp = tr.Begin("execute")
-	res, err := prep.RunWith(fork, exec.RunParams{Limit: limit + 1, Collect: req.Analyze, Trace: tr})
+	res, err := prep.RunWith(fork, exec.RunParams{Limit: limit + 1, Collect: req.Analyze, Trace: tr, Ctx: ctx})
 	tr.End(sp)
 	if err != nil {
-		if !errors.Is(err, exec.ErrTimeout) {
+		if !errors.Is(err, exec.ErrTimeout) && !errors.Is(err, exec.ErrCanceled) &&
+			!errors.Is(err, exec.ErrExecPanic) {
 			err = badRequest("%v", err)
 		}
 		return QueryResponse{}, nil, err
@@ -774,25 +907,25 @@ type ExplainRequest struct {
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		s.writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
 		return
 	}
 	var req ExplainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, badRequest("bad request body: %v", err))
+		s.writeErr(w, badRequest("bad request body: %v", err))
 		return
 	}
 	// Explain does the same parse + GHD-compile work as a query miss, so
 	// it shares the admission gate.
 	release, err := s.adm.acquire(r.Context())
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	plan, err := s.eng.Explain(req.Query)
 	release()
 	if err != nil {
-		writeErr(w, badRequest("%v", err))
+		s.writeErr(w, badRequest("%v", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
@@ -823,16 +956,16 @@ type LoadRequest struct {
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		s.writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
 		return
 	}
 	var req LoadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, badRequest("bad request body: %v", err))
+		s.writeErr(w, badRequest("bad request body: %v", err))
 		return
 	}
 	if req.Name == "" {
-		writeErr(w, badRequest("missing \"name\""))
+		s.writeErr(w, badRequest("missing \"name\""))
 		return
 	}
 	t0 := time.Now()
@@ -840,13 +973,13 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	// same worker pool as queries.
 	release, err := s.adm.acquire(r.Context())
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	err = s.load(&req)
 	release()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	// No cache purge: result-cache entries carry the per-relation epochs
@@ -939,39 +1072,47 @@ type UpdateRequest struct {
 // never read it survive.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		s.writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
 		return
 	}
 	var req UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, badRequest("bad request body: %v", err))
+		s.writeErr(w, badRequest("bad request body: %v", err))
 		return
 	}
 	if req.Name == "" {
-		writeErr(w, badRequest("missing \"name\""))
+		s.writeErr(w, badRequest("missing \"name\""))
 		return
 	}
 	b := core.UpdateBatch{Rel: req.Name, InsAnns: req.Anns}
 	if req.Op != "" {
 		op, err := semiring.ParseOp(req.Op)
 		if err != nil {
-			writeErr(w, badRequest("%v", err))
+			s.writeErr(w, badRequest("%v", err))
 			return
 		}
 		b.Op = op
 	}
 	var err error
 	if b.InsCols, err = updateCols(req.Inserts, req.InsertColumns, "insert"); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if b.DelCols, err = updateCols(req.Deletes, req.DeleteColumns, "delete"); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	t0 := time.Now()
 	tr := s.rec.Start("update")
 	tr.Annot("relation", req.Name)
+	// Degraded read-only mode fails writes fast — before admission, so a
+	// broken disk doesn't let updates queue behind healthy queries.
+	if !s.brk.allow() {
+		tr.SetError(errDegraded.Error())
+		s.obs.finishTrace(tr)
+		s.writeErrTrace(w, errDegraded, tr.ID)
+		return
+	}
 	// Mini-trie builds and the merged-view install are bounded by the
 	// same worker pool as queries and loads.
 	sp := tr.Begin("admission")
@@ -980,7 +1121,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		tr.SetError(err.Error())
 		s.obs.finishTrace(tr)
-		writeErr(w, err)
+		s.writeErrTrace(w, err, tr.ID)
 		return
 	}
 	res, err := s.eng.UpdateTraced(b, tr)
@@ -990,13 +1131,16 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.obs.finishTrace(tr)
 		if errors.Is(err, core.ErrDurability) {
 			// The WAL could not persist the batch (disk full, I/O error):
-			// a server-side, retryable failure — not a bad request.
-			writeErr(w, &httpError{http.StatusServiceUnavailable, err.Error()})
+			// a server-side, retryable failure — not a bad request. Book
+			// it with the breaker; enough in a row trip read-only mode.
+			s.brk.failure()
+			s.writeErrTrace(w, err, tr.ID)
 			return
 		}
-		writeErr(w, badRequest("%v", err))
+		s.writeErrTrace(w, badRequest("%v", err), tr.ID)
 		return
 	}
+	s.brk.success()
 	s.obs.finishTrace(tr)
 	s.obs.update.Observe(time.Since(t0))
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -1039,28 +1183,28 @@ type CompactRequest struct {
 // already running).
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		s.writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
 		return
 	}
 	var req CompactRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, badRequest("bad request body: %v", err))
+		s.writeErr(w, badRequest("bad request body: %v", err))
 		return
 	}
 	if req.Name == "" {
-		writeErr(w, badRequest("missing \"name\""))
+		s.writeErr(w, badRequest("missing \"name\""))
 		return
 	}
 	t0 := time.Now()
 	release, err := s.adm.acquire(r.Context())
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	did, err := s.eng.Compact(req.Name)
 	release()
 	if err != nil {
-		writeErr(w, badRequest("%v", err))
+		s.writeErr(w, badRequest("%v", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -1092,29 +1236,29 @@ func (s *Server) snapshotDir(req *SnapshotRequest) (string, error) {
 // the admission gate like any other heavy operation.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		s.writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
 		return
 	}
 	var req SnapshotRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeErr(w, badRequest("bad request body: %v", err))
+		s.writeErr(w, badRequest("bad request body: %v", err))
 		return
 	}
 	dir, err := s.snapshotDir(&req)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	t0 := time.Now()
 	release, err := s.adm.acquire(r.Context())
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	cat, err := s.eng.Snapshot(dir)
 	release()
 	if err != nil {
-		writeErr(w, fmt.Errorf("snapshot: %w", err))
+		s.writeErr(w, fmt.Errorf("snapshot: %w", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -1134,23 +1278,23 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // stamps.
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		s.writeErr(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
 		return
 	}
 	var req SnapshotRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeErr(w, badRequest("bad request body: %v", err))
+		s.writeErr(w, badRequest("bad request body: %v", err))
 		return
 	}
 	dir, err := s.snapshotDir(&req)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	t0 := time.Now()
 	release, err := s.adm.acquire(r.Context())
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	cat, err := s.eng.Restore(dir)
@@ -1164,10 +1308,10 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var ce *storage.CorruptionError
 		if errors.As(err, &ce) {
-			writeErr(w, &httpError{http.StatusConflict, err.Error()})
+			s.writeErr(w, &httpError{http.StatusConflict, err.Error()})
 			return
 		}
-		writeErr(w, badRequest("restore: %v", err))
+		s.writeErr(w, badRequest("restore: %v", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -1189,6 +1333,17 @@ type Stats struct {
 	ResultCache CacheStats               `json:"result_cache"`
 	Admission   AdmissionStats           `json:"admission"`
 	Durability  core.DurabilityStats     `json:"durability"`
+	Resilience  ResilienceStats          `json:"resilience"`
+}
+
+// ResilienceStats is the failure-contract section of /stats.
+type ResilienceStats struct {
+	RecoveredPanics  int64 `json:"recovered_panics"`
+	CancelledClients int64 `json:"cancelled_clients"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	BreakerTrips     int64 `json:"breaker_trips"`
+	Degraded         bool  `json:"degraded"`
+	DegradedRejected int64 `json:"degraded_rejected"`
 }
 
 // StatsSnapshot returns the same payload /stats serves (used by the load
@@ -1207,6 +1362,14 @@ func (s *Server) StatsSnapshot() Stats {
 		ResultCache: s.results.stats(),
 		Admission:   s.adm.stats(),
 		Durability:  s.eng.Durability(),
+		Resilience: ResilienceStats{
+			RecoveredPanics:  s.res.recoveredPanics.Load(),
+			CancelledClients: s.res.cancelledClients.Load(),
+			DeadlineExceeded: s.res.deadlineExceeded.Load(),
+			BreakerTrips:     s.brk.trips.Load(),
+			Degraded:         !s.brk.allow(),
+			DegradedRejected: s.res.degradedRejected.Load(),
+		},
 	}
 }
 

@@ -8,7 +8,25 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"emptyheaded/internal/fault"
 )
+
+// fsys routes the snapshot write path's file operations; SetFS swaps in
+// a fault-injecting implementation. The read/mmap path is untouched.
+var fsys fault.FS = fault.OS
+
+// SetFS overrides the filesystem behind the snapshot write path (fault
+// injection in chaos tests) and returns a restore function. Not safe
+// to call with writes in flight.
+func SetFS(fs fault.FS) (restore func()) {
+	old := fsys
+	if fs == nil {
+		fs = fault.OS
+	}
+	fsys = fs
+	return func() { fsys = old }
+}
 
 // Write serializes snap into dir (created if absent) and returns the
 // catalog. Segment file names embed the payload checksum, so a new
@@ -38,7 +56,7 @@ func Write(dir string, snap *Snapshot) (*Catalog, error) {
 // from this directory; a foreign catalog could alias unrelated content
 // behind a coincidentally equal epoch.
 func WriteIncremental(dir string, snap *Snapshot, prev *Catalog) (*Catalog, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	rels := append([]Relation(nil), snap.Relations...)
@@ -149,11 +167,12 @@ func writeCatalog(path string, cat *Catalog) error {
 
 func atomicWrite(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := fsys.WriteFile(tmp, data, 0o644); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
 	return nil

@@ -1,0 +1,180 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"emptyheaded/internal/fault"
+)
+
+// faultLog opens a log in a temp dir routed through a seeded injector.
+// Rules are Added after open so segment-creation writes don't shift the
+// per-point call counts the tests arm against.
+func faultLog(t *testing.T, sync SyncPolicy, seed int64) (*Log, *fault.Injector, string) {
+	t.Helper()
+	dir := t.TempDir()
+	in := fault.New(seed)
+	l, _, err := Open(Options{Dir: dir, Sync: sync, FS: fault.NewFS(in, "wal")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, in, dir
+}
+
+// mustAppend appends n records and checks the assigned sequences are
+// contiguous from firstSeq.
+func mustAppend(t *testing.T, l *Log, n int, firstSeq uint64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		seq, err := l.Append(testRecord("Edge", 2))
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if seq != firstSeq+uint64(i) {
+			t.Fatalf("append: seq %d, want %d", seq, firstSeq+uint64(i))
+		}
+	}
+}
+
+// A short write mid-append is rolled back: the failed record never gets
+// a sequence a later append reuses, and replay sees only acked records.
+func TestShortWriteRollbackKeepsSeqContiguous(t *testing.T) {
+	l, in, dir := faultLog(t, SyncAlways, 11)
+	mustAppend(t, l, 2, 1)
+	in.Add(fault.Rule{Point: "wal.write", Kind: fault.ShortWrite, OnCall: 1, Frac: 0.5})
+	if _, err := l.Append(testRecord("Edge", 3)); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("short-write append err = %v (injector: %s)", err, in)
+	}
+	// The log stays serviceable and the sequence has no hole.
+	mustAppend(t, l, 1, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := collect(t, dir)
+	if info.Truncated {
+		t.Fatalf("replay truncated after in-band rollback: %+v", info)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3 (injector: %s)", len(got), in)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d: seq %d", i, r.Seq)
+		}
+	}
+}
+
+// A failed fsync under SyncAlways must un-acknowledge the record: the
+// frame is truncated away so no future boot replays a batch the caller
+// was told did not apply.
+func TestFsyncFailureRollback(t *testing.T) {
+	l, in, dir := faultLog(t, SyncAlways, 12)
+	mustAppend(t, l, 2, 1)
+	in.Add(fault.Rule{Point: "wal.sync", Kind: fault.Err, OnCall: 1})
+	if _, err := l.Append(testRecord("Edge", 3)); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("fsync-failure append err = %v (injector: %s)", err, in)
+	}
+	mustAppend(t, l, 1, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := collect(t, dir)
+	if info.Truncated || len(got) != 3 {
+		t.Fatalf("replayed %d records (truncated=%v), want 3 clean (injector: %s)",
+			len(got), info.Truncated, in)
+	}
+}
+
+// When even the rollback truncate fails, the log poisons itself and
+// refuses appends — and Probe repairs it once the disk answers again.
+func TestPoisonedLogProbeRecovery(t *testing.T) {
+	l, in, dir := faultLog(t, SyncAlways, 13)
+	mustAppend(t, l, 2, 1)
+	in.Add(
+		fault.Rule{Point: "wal.sync", Kind: fault.Err, OnCall: 1},
+		fault.Rule{Point: "wal.ftruncate", Kind: fault.Err, OnCall: 1},
+	)
+	if _, err := l.Append(testRecord("Edge", 3)); err == nil {
+		t.Fatalf("append with failed rollback should error (injector: %s)", in)
+	}
+	// Poisoned: appending is refused outright.
+	if _, err := l.Append(testRecord("Edge", 1)); err == nil {
+		t.Fatal("poisoned log accepted an append")
+	}
+	// Probe against the still-broken disk fails and repairs nothing.
+	in.Add(fault.Rule{Point: "wal.sync", Kind: fault.Err, OnCall: 1})
+	if err := l.Probe(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("probe on broken disk err = %v", err)
+	}
+	// Disk heals: probe repairs the tail and service resumes.
+	in.Clear()
+	if err := l.Probe(); err != nil {
+		t.Fatalf("probe after heal: %v", err)
+	}
+	mustAppend(t, l, 1, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := collect(t, dir)
+	if info.Truncated || len(got) != 3 {
+		t.Fatalf("replayed %d records (truncated=%v), want 3 clean (injector: %s)",
+			len(got), info.Truncated, in)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d: seq %d — the un-acked frame survived repair", i, r.Seq)
+		}
+	}
+}
+
+// Probe on a healthy log is a no-op that leaves no scratch file behind.
+func TestProbeHealthyLog(t *testing.T) {
+	l, _, dir := faultLog(t, SyncAlways, 14)
+	mustAppend(t, l, 1, 1)
+	if err := l.Probe(); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, 1, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, info := collect(t, dir)
+	if info.Truncated || len(got) != 2 {
+		t.Fatalf("replayed %d records (truncated=%v), want 2", len(got), info.Truncated)
+	}
+}
+
+// A torn write under SyncOff is the documented loss window: the device
+// reports success for a frame that only partially hit the platter, and
+// the tear is only observable at replay — which truncates it cleanly
+// instead of corrupting the records before it.
+func TestTornWriteSyncOffLossWindow(t *testing.T) {
+	l, in, dir := faultLog(t, SyncOff, 15)
+	mustAppend(t, l, 2, 1)
+	in.Add(fault.Rule{Point: "wal.write", Kind: fault.Torn, OnCall: 1, Frac: 0.5})
+	// The lying device: this append reports success.
+	mustAppend(t, l, 1, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := collect(t, dir)
+	if !info.Truncated {
+		t.Fatalf("torn tail not detected at replay: %+v (injector: %s)", info, in)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want the 2 intact ones (injector: %s)", len(got), in)
+	}
+	// The truncated log accepts appends again.
+	l2, _, err := Open(Options{Dir: dir, Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if seq, err := l2.Append(testRecord("Edge", 1)); err != nil || seq != 3 {
+		t.Fatalf("append after torn-tail truncation: seq %d err %v", seq, err)
+	}
+}

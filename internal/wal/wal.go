@@ -37,6 +37,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"emptyheaded/internal/fault"
 )
 
 const (
@@ -97,6 +99,9 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncInterval paces SyncInterval flushes (default 50ms).
 	SyncInterval time.Duration
+	// FS overrides the log's file operations — fault injection in chaos
+	// tests. Nil selects the real filesystem.
+	FS fault.FS
 }
 
 // ReplayInfo reports what Open recovered.
@@ -138,13 +143,16 @@ type Stats struct {
 // Append to pin the record order to the apply order).
 type Log struct {
 	opts Options
+	fs   fault.FS
 
-	mu    sync.Mutex
-	f     *os.File
-	gen   uint64 // current segment generation
-	seq   uint64 // last assigned record sequence
-	size  int64  // committed byte length of the current segment
-	dirty bool   // bytes written since the last fsync
+	mu       sync.Mutex
+	f        fault.File
+	gen      uint64 // current segment generation
+	seq      uint64 // last assigned record sequence
+	size     int64  // committed byte length of the current segment
+	dirty    bool   // bytes written since the last fsync
+	poisoned bool   // a failed append could not be rolled back; Probe repairs
+	closed   bool   // Close was called; terminal
 
 	records    atomic.Uint64
 	bytes      atomic.Uint64
@@ -175,7 +183,11 @@ func Open(opts Options, apply func(*Record) error) (*Log, *ReplayInfo, error) {
 	if opts.SyncInterval <= 0 {
 		opts.SyncInterval = 50 * time.Millisecond
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = fault.OS
+	}
+	if err := fs.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, nil, err
 	}
 	gens, err := listSegments(opts.Dir)
@@ -183,7 +195,7 @@ func Open(opts Options, apply func(*Record) error) (*Log, *ReplayInfo, error) {
 		return nil, nil, err
 	}
 
-	l := &Log{opts: opts}
+	l := &Log{opts: opts, fs: fs}
 	info := &ReplayInfo{}
 	t0 := time.Now()
 	for i, gen := range gens {
@@ -202,7 +214,7 @@ func Open(opts Options, apply func(*Record) error) (*Log, *ReplayInfo, error) {
 		}
 	} else {
 		tail := segPath(opts.Dir, gens[len(gens)-1])
-		f, err := os.OpenFile(tail, os.O_RDWR|os.O_APPEND, 0o644)
+		f, err := fs.OpenFile(tail, os.O_RDWR|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -254,20 +266,20 @@ func listSegments(dir string) ([]uint64, error) {
 // truncates; on earlier segments, damage is an error.
 func (l *Log) replaySegment(gen uint64, isLast bool, apply func(*Record) error, info *ReplayInfo) error {
 	path := segPath(l.opts.Dir, gen)
-	data, err := os.ReadFile(path)
+	data, err := l.fs.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	truncateTo := func(off int) error {
 		info.Truncated = true
-		return os.Truncate(path, int64(off))
+		return l.fs.Truncate(path, int64(off))
 	}
 	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
 		if !isLast {
 			return fmt.Errorf("wal: %s: bad segment magic", path)
 		}
 		// Torn segment creation: rewrite the header, keep nothing.
-		if err := os.WriteFile(path, []byte(segMagic), 0o644); err != nil {
+		if err := l.fs.WriteFile(path, []byte(segMagic), 0o644); err != nil {
 			return err
 		}
 		if len(data) > 0 {
@@ -317,7 +329,11 @@ func (l *Log) replaySegment(gen uint64, isLast bool, apply func(*Record) error, 
 }
 
 func (l *Log) createSegment(gen uint64) error {
-	f, err := os.OpenFile(segPath(l.opts.Dir, gen), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	// O_APPEND matters beyond convenience: the failed-append rollback
+	// truncates the segment, and without it the next write would land at
+	// the stale file offset past EOF, leaving a hole of zeros that replay
+	// reads as a torn tail (silently dropping the acked records after it).
+	f, err := l.fs.OpenFile(segPath(l.opts.Dir, gen), os.O_RDWR|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
@@ -344,6 +360,9 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
+		if l.poisoned {
+			return 0, fmt.Errorf("wal: log poisoned by failed rollback (Probe repairs)")
+		}
 		return 0, fmt.Errorf("wal: log is closed")
 	}
 	l.seq++
@@ -365,6 +384,7 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 			if terr := l.f.Truncate(l.size); terr != nil {
 				l.f.Close()
 				l.f = nil
+				l.poisoned = true
 				return 0, fmt.Errorf("wal: %v; truncate after short write failed: %w", err, terr)
 			}
 		}
@@ -388,6 +408,7 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 			if terr := l.f.Truncate(l.size); terr != nil {
 				l.f.Close()
 				l.f = nil
+				l.poisoned = true
 				return 0, fmt.Errorf("wal: fsync: %v; rollback truncate failed: %w", err, terr)
 			}
 			return 0, err
@@ -472,6 +493,9 @@ func (l *Log) Rotate() (uint64, error) {
 	sealed := l.gen
 	l.f = nil
 	if err := l.createSegment(sealed + 1); err != nil {
+		// The sealed segment is intact on disk; mark the log poisoned so
+		// a later Probe can resume appending to it.
+		l.poisoned = true
 		return 0, err
 	}
 	return sealed, nil
@@ -490,7 +514,7 @@ func (l *Log) TruncateThrough(gen uint64) error {
 	var first error
 	for _, g := range gens {
 		if g <= gen && g != cur {
-			if err := os.Remove(segPath(l.opts.Dir, g)); err != nil && first == nil {
+			if err := l.fs.Remove(segPath(l.opts.Dir, g)); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -533,6 +557,7 @@ func (l *Log) Close() error {
 		}
 		l.mu.Lock()
 		defer l.mu.Unlock()
+		l.closed = true
 		if l.f == nil {
 			return
 		}
@@ -543,4 +568,76 @@ func (l *Log) Close() error {
 		l.f = nil
 	})
 	return err
+}
+
+// probeFile is the scratch file Probe writes in the log directory.
+const probeFile = "wal-probe.tmp"
+
+// Probe verifies the log's directory accepts durable writes again and
+// repairs a poisoned log. It writes, fsyncs, and removes a scratch file
+// through the same file operations appends use; on success, a log whose
+// failed append could not be rolled back (appends refused since) is
+// reopened with its tail segment truncated back to the last committed
+// record boundary, restoring read-write service. The durability circuit
+// breaker calls Probe from its background recovery loop.
+func (l *Log) Probe() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	path := filepath.Join(l.opts.Dir, probeFile)
+	f, err := l.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte("probe"))
+	serr := f.Sync()
+	cerr := f.Close()
+	_ = l.fs.Remove(path)
+	switch {
+	case werr != nil:
+		return werr
+	case serr != nil:
+		return serr
+	case cerr != nil:
+		return cerr
+	}
+	if l.f == nil && l.poisoned {
+		// The disk answers again: cut the tail segment back to the last
+		// committed boundary (dropping whatever the failed append left
+		// behind) and resume appending on it. A half-created successor
+		// segment from a failed Rotate holds no acknowledged records and
+		// would collide with the next create; drop it.
+		if gens, lerr := listSegments(l.opts.Dir); lerr == nil {
+			for _, g := range gens {
+				if g > l.gen {
+					_ = l.fs.Remove(segPath(l.opts.Dir, g))
+				}
+			}
+		}
+		tail := segPath(l.opts.Dir, l.gen)
+		f, err := l.fs.OpenFile(tail, os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		if err := f.Truncate(l.size); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		// Reopen in append mode, matching the boot-time tail open.
+		af, err := l.fs.OpenFile(tail, os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		l.f = af
+		l.poisoned = false
+		l.dirty = false
+	}
+	return nil
 }
