@@ -17,6 +17,11 @@
 // degraded, 429) are retried with jittered exponential backoff honoring
 // the server's Retry-After hint — see docs/RESILIENCE.md; -serve-retries
 // bounds the attempts.
+//
+// With -top (and -serve-url, no query argument) the server's workload
+// profiler is fetched from /debug/workload and rendered as a table of
+// the hottest query fingerprints — count, latency quantiles, cache-hit
+// rate, rows — sorted by -sort (count|latency|rows), -n rows deep.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"text/tabwriter"
 	"time"
 
 	"emptyheaded"
@@ -40,11 +46,24 @@ func main() {
 	limit := flag.Int("limit", 20, "max result tuples to print")
 	serveURL := flag.String("serve-url", "", "POST the query to this eh-server base URL instead of executing locally")
 	serveRetries := flag.Int("serve-retries", 3, "total attempts per shed (503/429) response, first included; 1 disables retries")
+	top := flag.Bool("top", false, "render the server's workload profile (requires -serve-url, no query argument)")
+	topSort := flag.String("sort", "count", "workload sort key for -top: count, latency or rows")
+	topN := flag.Int("n", 20, "fingerprints shown by -top")
 	flag.Parse()
+
+	if *top {
+		if *serveURL == "" || flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: eh-query -serve-url http://host:8080 -top [-sort count|latency|rows] [-n 20]")
+			os.Exit(2)
+		}
+		workloadTop(*serveURL, *topSort, *topN, *serveRetries)
+		return
+	}
 
 	if (*graphPath == "" && *serveURL == "") || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: eh-query -graph edges.txt [flags] '<datalog query>'")
 		fmt.Fprintln(os.Stderr, "       eh-query -serve-url http://host:8080 [flags] '<datalog query>'")
+		fmt.Fprintln(os.Stderr, "       eh-query -serve-url http://host:8080 -top")
 		os.Exit(2)
 	}
 	query := flag.Arg(0)
@@ -183,6 +202,84 @@ func remote(baseURL, query string, limit, retries int) {
 		fmt.Printf("retries: %d\n", n)
 	}
 	fmt.Printf("elapsed: %s\n", elapsed)
+}
+
+// workloadTop fetches /debug/workload and renders the hottest
+// fingerprints as a table.
+func workloadTop(baseURL, sortKey string, n, retries int) {
+	rc := bench.NewRetryClient(&http.Client{Timeout: 30 * time.Second},
+		bench.RetryPolicy{MaxAttempts: retries})
+	resp, err := rc.Get(fmt.Sprintf("%s/debug/workload?sort=%s&n=%d", baseURL, sortKey, n))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := string(raw)
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		fatal(fmt.Errorf("server: %d: %s", resp.StatusCode, msg))
+	}
+	var wl struct {
+		Totals struct {
+			Fingerprints int   `json:"fingerprints"`
+			Observed     int64 `json:"observed"`
+			ResultHits   int64 `json:"result_hits"`
+			PlanHits     int64 `json:"plan_hits"`
+			Misses       int64 `json:"misses"`
+			Errors       int64 `json:"errors"`
+		} `json:"totals"`
+		Fingerprints []struct {
+			Fingerprint string           `json:"fingerprint"`
+			Query       string           `json:"query"`
+			Count       int64            `json:"count"`
+			Errors      int64            `json:"errors"`
+			Routes      map[string]int64 `json:"routes"`
+			AvgUS       float64          `json:"avg_us"`
+			P50US       float64          `json:"p50_us"`
+			P99US       float64          `json:"p99_us"`
+			Rows        int64            `json:"rows"`
+		} `json:"fingerprints"`
+	}
+	if err := json.Unmarshal(raw, &wl); err != nil {
+		fatal(fmt.Errorf("decode /debug/workload: %w", err))
+	}
+	t := wl.Totals
+	fmt.Printf("workload: %d fingerprints, %d queries observed (%d result hits, %d plan hits, %d misses, %d errors)\n",
+		t.Fingerprints, t.Observed, t.ResultHits, t.PlanHits, t.Misses, t.Errors)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "COUNT\tP50\tP99\tCACHE%\tROWS\tERR\tQUERY")
+	for _, fp := range wl.Fingerprints {
+		hitPct := 0.0
+		if fp.Count > 0 {
+			// "Cache hit" for the table means the query skipped execution
+			// entirely (result-cache route).
+			hitPct = 100 * float64(fp.Routes["result_hit"]) / float64(fp.Count)
+		}
+		q := fp.Query
+		if q == "" {
+			q = fp.Fingerprint
+		}
+		if len(q) > 72 {
+			q = q[:69] + "..."
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%.0f%%\t%d\t%d\t%s\n",
+			fp.Count, usDur(fp.P50US), usDur(fp.P99US), hitPct, fp.Rows, fp.Errors, q)
+	}
+	tw.Flush()
+}
+
+// usDur renders microseconds as a compact duration.
+func usDur(us float64) string {
+	return time.Duration(us * float64(time.Microsecond)).Round(time.Microsecond).String()
 }
 
 func fatal(err error) {

@@ -48,6 +48,7 @@ import (
 
 	"emptyheaded/internal/core"
 	"emptyheaded/internal/gen"
+	"emptyheaded/internal/obs"
 	"emptyheaded/internal/server"
 	"emptyheaded/internal/storage"
 	"emptyheaded/internal/wal"
@@ -78,8 +79,13 @@ func main() {
 	breakerProbe := flag.Duration("breaker-probe", 0, "degraded-mode recovery probe interval (0 = default 1s)")
 	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint on 503 shed/degraded responses (0 = default 1s)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (e.g. 127.0.0.1:6060; empty = disabled)")
-	slowQueryMS := flag.Int("slow-query-ms", 0, "log requests slower than this many milliseconds as JSON lines (0 = disabled)")
-	slowQueryLog := flag.String("slow-query-log", "", "slow-query log file, appended (default stderr)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log requests slower than this many milliseconds as slow_query events (0 = disabled)")
+	slowQueryLog := flag.String("slow-query-log", "", "slow-query log file, appended (default stderr); superseded by -event-log")
+	eventLog := flag.String("event-log", "", "unified structured event log file, appended (default: the -slow-query-log file, else stderr)")
+	eventLogMaxMB := flag.Int("event-log-max-mb", 64, "rotate the event log when it exceeds this many MiB (0 = never)")
+	eventLogKeep := flag.Int("event-log-keep", 3, "rotated event-log files retained")
+	workloadCap := flag.Int("workload-cap", 0, "fingerprints retained in the workload registry (0 = default 256)")
+	noWorkload := flag.Bool("no-workload-stats", false, "disable the workload profiler (per-fingerprint stats, relation heat, default kernel-counter collection)")
 	traceRing := flag.Int("trace-ring", 0, "completed request traces retained for /debug/queries (0 = default 128)")
 	flag.Parse()
 
@@ -95,6 +101,21 @@ func main() {
 		defer f.Close()
 		slowW = f
 	}
+	// The unified event log: -event-log gets a size-rotated file; without
+	// it, events share the slow-query writer (or stderr), unrotated.
+	var events *obs.EventLog
+	if *eventLog != "" {
+		el, err := obs.OpenEventLog(*eventLog, int64(*eventLogMaxMB)<<20, *eventLogKeep)
+		if err != nil {
+			fatal(err)
+		}
+		defer el.Close()
+		events = el
+	} else if slowW != nil {
+		events = obs.NewEventLog(slowW)
+	} else {
+		events = obs.NewEventLog(os.Stderr)
+	}
 
 	// The server and its listener come up before the data loads: /healthz
 	// answers liveness immediately and /readyz reports boot progress
@@ -102,19 +123,22 @@ func main() {
 	// or WAL replay runs, so orchestrators can distinguish a slow boot
 	// from a dead process.
 	s := server.New(eng, server.Config{
-		Workers:            *workers,
-		QueueDepth:         *queue,
-		QueueWait:          *queueWait,
-		PlanCacheSize:      *planCache,
-		ResultCacheSize:    *resultCache,
-		DataDir:            *dataDir,
-		TraceRing:          *traceRing,
-		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
-		SlowQueryLog:       slowW,
-		QueryDeadline:      *queryDeadline,
-		RetryAfter:         *retryAfter,
-		BreakerThreshold:   *breakerThreshold,
-		BreakerProbe:       *breakerProbe,
+		Workers:              *workers,
+		QueueDepth:           *queue,
+		QueueWait:            *queueWait,
+		PlanCacheSize:        *planCache,
+		ResultCacheSize:      *resultCache,
+		DataDir:              *dataDir,
+		TraceRing:            *traceRing,
+		SlowQueryThreshold:   time.Duration(*slowQueryMS) * time.Millisecond,
+		SlowQueryLog:         slowW,
+		QueryDeadline:        *queryDeadline,
+		RetryAfter:           *retryAfter,
+		BreakerThreshold:     *breakerThreshold,
+		BreakerProbe:         *breakerProbe,
+		WorkloadCap:          *workloadCap,
+		DisableWorkloadStats: *noWorkload,
+		Events:               events,
 	})
 	s.SetBootPhase("loading")
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}

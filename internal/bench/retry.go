@@ -96,6 +96,28 @@ func (rc *RetryClient) Post(url, contentType string, body []byte) (*http.Respons
 	}
 }
 
+// Get fetches url under the same shed-retry policy as Post.
+func (rc *RetryClient) Get(url string) (*http.Response, error) {
+	for attempt := 1; ; attempt++ {
+		resp, err := rc.c.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		if !shedStatus(resp.StatusCode) || attempt >= rc.pol.MaxAttempts {
+			return resp, nil
+		}
+		floor := retryAfter(resp)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		d := rc.backoff(attempt)
+		if floor > d {
+			d = floor
+		}
+		rc.retries.Add(1)
+		time.Sleep(d)
+	}
+}
+
 func shedStatus(code int) bool {
 	return code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests
 }

@@ -33,6 +33,7 @@ func (e *Engine) Snapshot(dir string) (*storage.Catalog, error) {
 	e.upd.mu.Lock()
 	var sealed uint64
 	truncate := false
+	rotated := false
 	if e.upd.wal != nil {
 		g, err := e.upd.wal.Rotate()
 		if err != nil {
@@ -41,10 +42,15 @@ func (e *Engine) Snapshot(dir string) (*storage.Catalog, error) {
 		}
 		sealed = g
 		truncate = e.walSnapshotDirMatches(dir)
+		rotated = true
 	}
 	fork := e.DB.Fork()
 	walHandle := e.upd.wal
+	event := e.upd.obs.Event
 	e.upd.mu.Unlock()
+	if rotated && event != nil {
+		event("wal_rotate", map[string]any{"sealed_seq": sealed, "reason": "snapshot", "dir": dir})
+	}
 
 	snap := &storage.Snapshot{
 		Dict:      fork.Dict(),
@@ -75,6 +81,15 @@ func (e *Engine) Snapshot(dir string) (*storage.Catalog, error) {
 	if walHandle != nil && truncate {
 		// Best effort: a survived segment replays idempotently.
 		_ = walHandle.TruncateThrough(sealed)
+	}
+	if event != nil {
+		event("snapshot", map[string]any{
+			"dir":           dir,
+			"relations":     len(cat.Relations),
+			"tuples":        cat.CardinalityTotal(),
+			"bytes":         cat.BytesTotal(),
+			"truncated_wal": truncate,
+		})
 	}
 	return cat, nil
 }
@@ -133,9 +148,20 @@ func (e *Engine) Restore(dir string) (*storage.Catalog, error) {
 			return nil, fmt.Errorf("restore %s: wal rotate: %w", dir, err)
 		}
 	}
+	event := e.upd.obs.Event
 	e.upd.mu.Unlock()
 	if walHandle != nil {
 		_ = walHandle.TruncateThrough(sealed)
+		if event != nil {
+			event("wal_rotate", map[string]any{"sealed_seq": sealed, "reason": "restore", "dir": dir})
+		}
+	}
+	if event != nil {
+		event("restore", map[string]any{
+			"dir":       dir,
+			"relations": len(db.Catalog.Relations),
+			"tuples":    db.Catalog.CardinalityTotal(),
+		})
 	}
 	e.mu.Lock()
 	e.graphs = map[string]*graph.Graph{}

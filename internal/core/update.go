@@ -85,6 +85,14 @@ type Observers struct {
 	WALFsync func(time.Duration)
 	// Compaction receives every finished compaction's wall duration.
 	Compaction func(time.Duration)
+	// Event receives structured subsystem events (wal_rotate,
+	// compaction, snapshot, restore, wal_replay) for the serving
+	// layer's unified event log, keeping core metrics-free the same way
+	// the latency callbacks do. Emissions are ordered with the state
+	// changes they describe: each fires under (or captured from) the
+	// update mutex, so the event sequence is an admissible serialization
+	// of the subsystem's history.
+	Event func(kind string, fields map[string]any)
 }
 
 // SetObservers installs latency observers. Call it once at startup;
@@ -523,6 +531,15 @@ func (e *Engine) Compact(name string) (bool, error) {
 	if e.upd.obs.Compaction != nil {
 		e.upd.obs.Compaction(dur)
 	}
+	if e.upd.obs.Event != nil {
+		e.upd.obs.Event("compaction", map[string]any{
+			"relation":     name,
+			"duration_us":  dur.Microseconds(),
+			"base_rows":    rd.baseCard,
+			"overlay_rows": rd.ov.Rows(),
+			"raced":        rd.version != ver,
+		})
+	}
 	return true, nil
 }
 
@@ -609,6 +626,16 @@ func (e *Engine) OpenWAL(cfg WALConfig) (ReplayStats, error) {
 		SkippedRelations: skipped,
 	}
 	e.upd.replay = st
+	if e.upd.obs.Event != nil {
+		e.upd.obs.Event("wal_replay", map[string]any{
+			"segments":    st.Segments,
+			"records":     st.Records,
+			"rows":        st.Rows,
+			"relations":   st.Relations,
+			"truncated":   st.Truncated,
+			"duration_us": st.DurationUS,
+		})
+	}
 	for name := range acc.rels {
 		e.maybeCompactLocked(name)
 	}

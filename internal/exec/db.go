@@ -399,6 +399,11 @@ func (r *Relation) Canonical() *trie.Trie {
 	return r.canonical
 }
 
+// HasOverlay reports whether the relation serves through a delta-overlay
+// merged view (reads see base+overlay rather than a compacted trie). The
+// overlay decomposition is fixed at construction, so no lock is needed.
+func (r *Relation) HasOverlay() bool { return r.base != nil }
+
 func indexKey(perm []int, layoutName string) string {
 	var sb strings.Builder
 	for _, p := range perm {

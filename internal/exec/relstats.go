@@ -1,0 +1,116 @@
+package exec
+
+import "sort"
+
+// RelLevelStat is one (relation, column) cell of a run's loop-nest
+// attribution: the share of the collected counters booked to a base
+// relation at one of its original columns.
+//
+// Attribution is by participation: a loop level intersecting three
+// atoms books its probes/intersections/skipped to all three relations
+// (each at the column its trie binds at that level), so per-relation
+// numbers answer "how hot is this relation's column c across the
+// workload" rather than partitioning the total.
+type RelLevelStat struct {
+	Rel string
+	// Col is the relation's original column bound at the level (the
+	// canonical trie level, stable across per-query index permutations).
+	Col           int
+	Probes        int64
+	Intersections int64
+	Skipped       int64
+}
+
+// RelationLevelStats maps a collected run's per-bag, per-level counters
+// back onto the participating base relations. Child-bag atoms ("@bag"
+// intermediates) are skipped — only stored relations appear. Dedup'd
+// and selection-missed bags contribute nothing (no loop nest ran).
+// Returns cells sorted by relation then column.
+func (p *Plan) RelationLevelStats(st *ExecStats) []RelLevelStat {
+	if p == nil || st == nil {
+		return nil
+	}
+	bags := map[int]*BagPlan{}
+	var walk func(bp *BagPlan)
+	walk = func(bp *BagPlan) {
+		if bp == nil {
+			return
+		}
+		bags[bp.ID] = bp
+		for _, c := range bp.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	if p.Assembly != nil {
+		bags[p.Assembly.ID] = p.Assembly
+	}
+
+	type key struct {
+		rel string
+		col int
+	}
+	acc := map[key]*RelLevelStat{}
+	for _, bs := range st.Bags {
+		bp := bags[bs.BagID]
+		if bp == nil || bs.Reused {
+			continue
+		}
+		for _, lv := range bs.Levels {
+			if lv.Probes == 0 && lv.Intersections == 0 && lv.Skipped == 0 {
+				continue
+			}
+			for _, atom := range bp.Atoms {
+				if atom.child != nil {
+					continue
+				}
+				for al, a := range atom.Attrs {
+					if a != lv.Attr || a == "" {
+						continue
+					}
+					col := al
+					if al < len(atom.Perm) {
+						col = atom.Perm[al]
+					}
+					k := key{rel: atom.Rel, col: col}
+					cell := acc[k]
+					if cell == nil {
+						cell = &RelLevelStat{Rel: atom.Rel, Col: col}
+						acc[k] = cell
+					}
+					cell.Probes += lv.Probes
+					cell.Intersections += lv.Intersections
+					cell.Skipped += lv.Skipped
+				}
+			}
+		}
+	}
+	out := make([]RelLevelStat, 0, len(acc))
+	for _, cell := range acc {
+		out = append(out, *cell)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel < out[j].Rel
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+// Totals sums the loop-nest counters across every bag and level —
+// the cumulative intersections/probes/skipped a workload registry
+// accumulates per fingerprint.
+func (st *ExecStats) Totals() (intersections, probes, skipped int64) {
+	if st == nil {
+		return 0, 0, 0
+	}
+	for _, b := range st.Bags {
+		for i := range b.Levels {
+			intersections += b.Levels[i].Intersections
+			probes += b.Levels[i].Probes
+			skipped += b.Levels[i].Skipped
+		}
+	}
+	return intersections, probes, skipped
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventLogEnvelope(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.Emit("snapshot", 0, map[string]any{"dir": "/tmp/x", "tuples": 42})
+	l.Emit("slow_query", 7, map[string]any{"total_us": int64(1234)})
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var first, second map[string]any
+	if err := json.Unmarshal(lines[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(lines[1], &second); err != nil {
+		t.Fatal(err)
+	}
+	if first["kind"] != "snapshot" || first["seq"] != 1.0 || first["ts"] == nil {
+		t.Fatalf("first envelope: %v", first)
+	}
+	if _, has := first["trace_id"]; has {
+		t.Fatalf("trace_id 0 should be omitted: %v", first)
+	}
+	if first["dir"] != "/tmp/x" || first["tuples"] != 42.0 {
+		t.Fatalf("fields not flattened: %v", first)
+	}
+	if second["kind"] != "slow_query" || second["seq"] != 2.0 || second["trace_id"] != 7.0 {
+		t.Fatalf("second envelope: %v", second)
+	}
+
+	st := l.Stats()
+	if !st.Enabled || st.Events != 2 || st.Seq != 2 || st.Dropped != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestEventLogSeqOrder checks the determination-provenance property:
+// concurrent emitters produce a file whose line order IS the seq order,
+// with no gaps or duplicates.
+func TestEventLogSeqOrder(t *testing.T) {
+	var buf safeBuffer
+	l := NewEventLog(&buf)
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Emit("tick", uint64(g+1), map[string]any{"i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	want := uint64(1)
+	for sc.Scan() {
+		var ev struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", want, err)
+		}
+		if ev.Seq != want {
+			t.Fatalf("line %d carries seq %d: file order is not seq order", want, ev.Seq)
+		}
+		want++
+	}
+	if want-1 != goroutines*perG {
+		t.Fatalf("got %d events, want %d", want-1, goroutines*perG)
+	}
+}
+
+type safeBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *safeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *safeBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+func TestEventLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	// Each line is ~60 bytes; rotate past 1 KiB, keep 2 files.
+	l, err := OpenEventLog(path, 1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const total = 200
+	for i := 0; i < total; i++ {
+		l.Emit("tick", 0, map[string]any{"i": i, "pad": "xxxxxxxxxxxxxxxx"})
+	}
+	st := l.Stats()
+	if st.Rotations == 0 {
+		t.Fatalf("no rotations after %d events: %+v", total, st)
+	}
+	if st.Events != total || st.Dropped != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// The live file plus at most keep rotations exist, each within the
+	// size budget (up to one line of overshoot on the rotation trigger).
+	for _, p := range []string{path, path + ".1", path + ".2"} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("stat %s: %v", p, err)
+		}
+		if fi.Size() > 1024+256 {
+			t.Fatalf("%s is %d bytes, rotation budget blown", p, fi.Size())
+		}
+	}
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Fatalf("keep=2 but %s.3 exists", path)
+	}
+
+	// Sequence numbers keep ascending across the rotation boundary: the
+	// newest retained file ends where the live file begins.
+	liveSeqs := seqsOf(t, path)
+	prevSeqs := seqsOf(t, path+".1")
+	if len(liveSeqs) == 0 || len(prevSeqs) == 0 {
+		t.Fatal("empty event files after rotation")
+	}
+	if prevSeqs[len(prevSeqs)-1]+1 != liveSeqs[0] {
+		t.Fatalf("seq gap across rotation: ...%d | %d...",
+			prevSeqs[len(prevSeqs)-1], liveSeqs[0])
+	}
+}
+
+func seqsOf(t *testing.T, path string) []uint64 {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []uint64
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	for sc.Scan() {
+		var ev struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		out = append(out, ev.Seq)
+	}
+	return out
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit("tick", 0, nil)
+	if st := l.Stats(); st.Enabled {
+		t.Fatalf("nil log reports enabled: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l2 := NewEventLog(nil); l2 != nil {
+		t.Fatal("NewEventLog(nil) should yield a nil (disabled) log")
+	}
+}
+
+func TestRelHeatSnapshot(t *testing.T) {
+	h := NewRelHeat()
+	h.NoteRead("Edge", false)
+	h.NoteRead("Edge", true)
+	h.NoteLevel("Edge", 0, 10, 5, 1)
+	h.NoteLevel("Edge", 1, 20, 8, 2)
+	h.NoteLevel("Edge", 1, 5, 1, 0)
+	h.NoteUpdate("Edge", 3, 24)
+	h.NoteRead("Tri", false)
+
+	snap := h.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d relations, want 2", len(snap))
+	}
+	e := snap[0]
+	if e.Relation != "Edge" {
+		t.Fatalf("snapshot not sorted: %+v", snap)
+	}
+	if e.Reads != 2 || e.OverlayReads != 1 || e.OverlayReadFraction != 0.5 {
+		t.Fatalf("reads: %+v", e)
+	}
+	if e.Probes != 35 || e.Intersections != 14 || e.Skipped != 3 {
+		t.Fatalf("kernel counters: %+v", e)
+	}
+	if len(e.LevelProbes) != 2 || e.LevelProbes[0] != 10 || e.LevelProbes[1] != 25 {
+		t.Fatalf("level probes: %v", e.LevelProbes)
+	}
+	if e.UpdateBatches != 1 || e.UpdateRows != 3 || e.UpdateBytes != 24 {
+		t.Fatalf("update counters: %+v", e)
+	}
+	if e.LastRead == "" || e.LastUpdate == "" {
+		t.Fatalf("timestamps missing: %+v", e)
+	}
+	if snap[1].Relation != "Tri" || snap[1].Reads != 1 || snap[1].LastUpdate != "" {
+		t.Fatalf("second relation: %+v", snap[1])
+	}
+
+	var nilHeat *RelHeat
+	nilHeat.NoteRead("X", false)
+	nilHeat.NoteLevel("X", 0, 1, 1, 1)
+	nilHeat.NoteUpdate("X", 1, 1)
+	if s := nilHeat.Snapshot(); s != nil {
+		t.Fatalf("nil heat snapshot: %v", s)
+	}
+}
+
+func TestBuildInfoPromLine(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" || bi.Module == "" || bi.Revision == "" {
+		t.Fatalf("build info has empty fields: %+v", bi)
+	}
+	line := bi.PromLine()
+	if !strings.HasPrefix(line, "eh_build_info{go_version=") {
+		t.Fatalf("prom line %q", line)
+	}
+	if !strings.HasSuffix(line, "} 1\n") {
+		t.Fatalf("prom line %q does not end with value 1", line)
+	}
+}

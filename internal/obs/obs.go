@@ -1,0 +1,57 @@
+// Package obs is the workload-statistics subsystem behind the server's
+// /debug/workload, /debug/relations and event-log surfaces: cumulative
+// per-query-fingerprint aggregates (Workload), per-relation heat
+// counters fed from the exec loop nest and the update path (RelHeat),
+// and a unified JSON-lines structured event log (EventLog) that pins
+// one admissible order of the system's state-changing events.
+//
+// Everything here is designed for the serving hot path: Workload.Observe
+// is one short mutex hold per finished request (not per tuple), RelHeat
+// uses the same atomic-counter discipline as internal/metrics, and the
+// event log only writes on events (slow queries, WAL rotations,
+// compactions, breaker transitions) — never per request.
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo describes the running binary for the eh_build_info metric.
+type BuildInfo struct {
+	GoVersion string
+	Module    string
+	Revision  string
+}
+
+// ReadBuildInfo extracts build metadata from the binary. Fields the
+// toolchain didn't stamp (e.g. VCS revision in a plain `go test` build)
+// come back as "unknown" so the metric's label set stays stable.
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version(), Module: "unknown", Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Path != "" {
+		bi.Module = info.Main.Path
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			rev := s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			bi.Revision = rev
+		}
+	}
+	return bi
+}
+
+// PromLine renders the eh_build_info gauge (value 1, metadata in
+// labels — the standard Prometheus build-info idiom).
+func (b BuildInfo) PromLine() string {
+	return fmt.Sprintf("eh_build_info{go_version=%q,module=%q,revision=%q} 1\n",
+		b.GoVersion, b.Module, b.Revision)
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// relHeat is one relation's hot counters. Everything is atomic — the
+// exec loop nest attribution and the update path both write here
+// without locks, the same discipline as internal/metrics — except the
+// per-level probe slice, which grows under the owning RelHeat's mutex
+// (growth is rare: only when a query binds a deeper trie level than any
+// before it).
+type relHeat struct {
+	// reads counts query executions that read the relation;
+	// overlayReads the subset served through a delta-overlay merged
+	// view (reads-overlayReads went straight to a compacted base).
+	reads        atomic.Int64
+	overlayReads atomic.Int64
+
+	// Loop-nest attribution: totals across all levels, plus per
+	// original-column counters (participation counts — a level probing
+	// a 3-atom intersection books the level's probes to all three
+	// relations).
+	probes        atomic.Int64
+	intersections atomic.Int64
+	skipped       atomic.Int64
+
+	mu          sync.Mutex
+	levelProbes []*atomic.Int64 // index = original column of the relation
+
+	// Update-path counters.
+	updateBatches atomic.Int64
+	updateRows    atomic.Int64
+	updateBytes   atomic.Int64
+
+	lastReadUnixNano   atomic.Int64
+	lastUpdateUnixNano atomic.Int64
+}
+
+func (h *relHeat) levelCounter(col int) *atomic.Int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.levelProbes) <= col {
+		h.levelProbes = append(h.levelProbes, &atomic.Int64{})
+	}
+	return h.levelProbes[col]
+}
+
+// RelHeat maps relation name → heat counters. The map itself is guarded
+// by an RWMutex (reads on the hot path, writes only on first touch of a
+// new relation); the counters inside are atomics.
+type RelHeat struct {
+	mu   sync.RWMutex
+	rels map[string]*relHeat
+}
+
+// NewRelHeat builds an empty heat map.
+func NewRelHeat() *RelHeat {
+	return &RelHeat{rels: map[string]*relHeat{}}
+}
+
+func (m *RelHeat) rel(name string) *relHeat {
+	m.mu.RLock()
+	h, ok := m.rels[name]
+	m.mu.RUnlock()
+	if ok {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok = m.rels[name]; ok {
+		return h
+	}
+	h = &relHeat{}
+	m.rels[name] = h
+	return h
+}
+
+// NoteRead books one query execution that read the relation; overlay
+// reports whether the read went through a delta-overlay merged view.
+// Nil-safe.
+func (m *RelHeat) NoteRead(name string, overlay bool) {
+	if m == nil {
+		return
+	}
+	h := m.rel(name)
+	h.reads.Add(1)
+	if overlay {
+		h.overlayReads.Add(1)
+	}
+	h.lastReadUnixNano.Store(time.Now().UnixNano())
+}
+
+// NoteLevel attributes one loop-nest level's kernel counters to the
+// relation at the given original column. Nil-safe.
+func (m *RelHeat) NoteLevel(name string, col int, probes, intersections, skipped int64) {
+	if m == nil {
+		return
+	}
+	h := m.rel(name)
+	h.probes.Add(probes)
+	h.intersections.Add(intersections)
+	h.skipped.Add(skipped)
+	if col >= 0 {
+		h.levelCounter(col).Add(probes)
+	}
+}
+
+// NoteUpdate books one applied update batch. Nil-safe.
+func (m *RelHeat) NoteUpdate(name string, rows, bytes int64) {
+	if m == nil {
+		return
+	}
+	h := m.rel(name)
+	h.updateBatches.Add(1)
+	h.updateRows.Add(rows)
+	h.updateBytes.Add(bytes)
+	h.lastUpdateUnixNano.Store(time.Now().UnixNano())
+}
+
+// RelationHeat is one relation's JSON row for /debug/relations.
+type RelationHeat struct {
+	Relation string `json:"relation"`
+	// Reads counts query executions over the relation; OverlayReads the
+	// subset that went through a delta-overlay merged view.
+	// OverlayReadFraction = OverlayReads/Reads.
+	Reads               int64   `json:"reads"`
+	OverlayReads        int64   `json:"overlay_reads,omitempty"`
+	OverlayReadFraction float64 `json:"overlay_read_fraction"`
+	// Loop-nest attribution (participation counts across all queries).
+	Probes        int64 `json:"probes,omitempty"`
+	Intersections int64 `json:"intersections,omitempty"`
+	Skipped       int64 `json:"skipped,omitempty"`
+	// LevelProbes[i] is the probe count attributed to original column i.
+	LevelProbes []int64 `json:"level_probes,omitempty"`
+	// Update-path counters.
+	UpdateBatches int64  `json:"update_batches,omitempty"`
+	UpdateRows    int64  `json:"update_rows,omitempty"`
+	UpdateBytes   int64  `json:"update_bytes,omitempty"`
+	LastRead      string `json:"last_read,omitempty"`
+	LastUpdate    string `json:"last_update,omitempty"`
+}
+
+// Snapshot returns every relation's heat row, sorted by name. Nil-safe.
+func (m *RelHeat) Snapshot() []RelationHeat {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	names := make([]string, 0, len(m.rels))
+	for name := range m.rels {
+		names = append(names, name)
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]RelationHeat, 0, len(names))
+	for _, name := range names {
+		m.mu.RLock()
+		h := m.rels[name]
+		m.mu.RUnlock()
+		r := RelationHeat{
+			Relation:      name,
+			Reads:         h.reads.Load(),
+			OverlayReads:  h.overlayReads.Load(),
+			Probes:        h.probes.Load(),
+			Intersections: h.intersections.Load(),
+			Skipped:       h.skipped.Load(),
+			UpdateBatches: h.updateBatches.Load(),
+			UpdateRows:    h.updateRows.Load(),
+			UpdateBytes:   h.updateBytes.Load(),
+		}
+		if r.Reads > 0 {
+			r.OverlayReadFraction = float64(r.OverlayReads) / float64(r.Reads)
+		}
+		h.mu.Lock()
+		if len(h.levelProbes) > 0 {
+			r.LevelProbes = make([]int64, len(h.levelProbes))
+			for i, c := range h.levelProbes {
+				r.LevelProbes[i] = c.Load()
+			}
+		}
+		h.mu.Unlock()
+		if ns := h.lastReadUnixNano.Load(); ns > 0 {
+			r.LastRead = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
+		}
+		if ns := h.lastUpdateUnixNano.Load(); ns > 0 {
+			r.LastUpdate = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -20,8 +20,9 @@ type lruCache struct {
 }
 
 type lruEntry struct {
-	key string
-	val any
+	key  string
+	val  any
+	hits int64
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -37,8 +38,10 @@ func (c *lruCache) get(key string) (any, bool) {
 		return nil, false
 	}
 	c.hits++
+	ent := el.Value.(*lruEntry)
+	ent.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	return ent.val, true
 }
 
 // peek is get without hit/miss accounting, for the pre-admission fast
@@ -55,10 +58,15 @@ func (c *lruCache) peek(key string) (any, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
-// noteHit books a hit for a lookup that went through peek.
-func (c *lruCache) noteHit() {
+// noteHit books a hit for a lookup that went through peek, on both the
+// cache counter and the entry's own counter (the entry may have been
+// evicted since the peek; the cache counter still books).
+func (c *lruCache) noteHit(key string) {
 	c.mu.Lock()
 	c.hits++
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).hits++
+	}
 	c.mu.Unlock()
 }
 
@@ -77,6 +85,26 @@ func (c *lruCache) put(key string, val any) {
 		delete(c.items, last.Value.(*lruEntry).key)
 		c.evictions++
 	}
+}
+
+// cacheEntry is one snapshot row from entries(): the key, the live
+// value, and how many hits the entry has absorbed since insertion.
+type cacheEntry struct {
+	key  string
+	val  any
+	hits int64
+}
+
+// entries snapshots the cache's contents, most recently used first.
+func (c *lruCache) entries() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*lruEntry)
+		out = append(out, cacheEntry{key: ent.key, val: ent.val, hits: ent.hits})
+	}
+	return out
 }
 
 func (c *lruCache) remove(key string) {

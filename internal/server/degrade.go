@@ -40,6 +40,11 @@ type breaker struct {
 	consec atomic.Int64
 	trips  atomic.Int64
 
+	// notify, when set, receives breaker state transitions ("breaker_trip",
+	// "breaker_recover") for the structured event log. Called outside any
+	// lock; the trip CAS and the recovery Store serialize the transitions.
+	notify func(kind string, fields map[string]any)
+
 	quit     chan struct{}
 	quitOnce sync.Once
 	probing  sync.WaitGroup
@@ -70,6 +75,9 @@ func (b *breaker) failure() {
 	if n := b.consec.Add(1); n >= int64(b.threshold) {
 		if b.open.CompareAndSwap(false, true) {
 			b.trips.Add(1)
+			if b.notify != nil {
+				b.notify("breaker_trip", map[string]any{"consecutive_failures": n, "trips": b.trips.Load()})
+			}
 			b.probing.Add(1)
 			go b.probeLoop()
 		}
@@ -90,6 +98,9 @@ func (b *breaker) probeLoop() {
 			if b.probe() == nil {
 				b.consec.Store(0)
 				b.open.Store(false)
+				if b.notify != nil {
+					b.notify("breaker_recover", map[string]any{"trips": b.trips.Load()})
+				}
 				return
 			}
 		}
@@ -107,7 +118,10 @@ func (b *breaker) close() {
 // reports ready only in the "ready" phase with a closed breaker;
 // embedders that construct a server over a pre-loaded engine start in
 // "ready" and never need to call this.
-func (s *Server) SetBootPhase(phase string) { s.bootPhase.Store(phase) }
+func (s *Server) SetBootPhase(phase string) {
+	s.bootPhase.Store(phase)
+	s.obs.events.Emit("boot_phase", 0, map[string]any{"phase": phase})
+}
 
 // handleReady is /readyz: readiness for load balancers and orchestration.
 // Unlike /healthz (pure liveness), it goes unready while the server is

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"emptyheaded/internal/metrics"
+	"emptyheaded/internal/obs"
 )
 
 // handleMetrics serves the same counters as /stats in the Prometheus text
@@ -152,6 +153,56 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("emptyheaded_degraded", "1 while the server is in degraded read-only mode, else 0.", degraded)
 	counterHeader("emptyheaded_degraded_rejected_total", "Writes fast-failed while degraded.")
 	fmt.Fprintf(&sb, "emptyheaded_degraded_rejected_total %d\n", s.res.degradedRejected.Load())
+
+	// Cache effectiveness as ready-made ratios (hits/(hits+misses); 0
+	// before any lookup), plus the workload profiler's route breakdown.
+	ratio := func(cs CacheStats) float64 {
+		if total := cs.Hits + cs.Misses; total > 0 {
+			return float64(cs.Hits) / float64(total)
+		}
+		return 0
+	}
+	fmt.Fprintf(&sb, "# HELP %s Cache hit ratio (hits/(hits+misses)) per cache.\n# TYPE %s gauge\n",
+		"emptyheaded_cache_hit_ratio", "emptyheaded_cache_hit_ratio")
+	fmt.Fprintf(&sb, "emptyheaded_cache_hit_ratio{cache=\"plan\"} %g\n", ratio(st.PlanCache.CacheStats))
+	fmt.Fprintf(&sb, "emptyheaded_cache_hit_ratio{cache=\"result\"} %g\n", ratio(st.ResultCache))
+	wl := st.Workload
+	counterHeader("emptyheaded_query_route_total", "Finished queries per cache route (workload profiler).")
+	fmt.Fprintf(&sb, "emptyheaded_query_route_total{route=\"result_hit\"} %d\n", wl.ResultHits)
+	fmt.Fprintf(&sb, "emptyheaded_query_route_total{route=\"plan_hit\"} %d\n", wl.PlanHits)
+	fmt.Fprintf(&sb, "emptyheaded_query_route_total{route=\"miss\"} %d\n", wl.Misses)
+	gauge("emptyheaded_workload_fingerprints", "Fingerprints retained in the workload registry.", float64(wl.Fingerprints))
+	counterHeader("emptyheaded_workload_observed_total", "Queries merged into the workload registry.")
+	fmt.Fprintf(&sb, "emptyheaded_workload_observed_total %d\n", wl.Observed)
+	counterHeader("emptyheaded_workload_evictions_total", "Fingerprints LRU-evicted from the workload registry.")
+	fmt.Fprintf(&sb, "emptyheaded_workload_evictions_total %d\n", wl.Evictions)
+	ev := st.Events
+	counterHeader("emptyheaded_events_total", "Events written to the unified event log.")
+	fmt.Fprintf(&sb, "emptyheaded_events_total %d\n", ev.Events)
+	counterHeader("emptyheaded_event_log_rotations_total", "Size-triggered event-log rotations.")
+	fmt.Fprintf(&sb, "emptyheaded_event_log_rotations_total %d\n", ev.Rotations)
+	counterHeader("emptyheaded_event_log_dropped_total", "Events dropped on marshal/write failure.")
+	fmt.Fprintf(&sb, "emptyheaded_event_log_dropped_total %d\n", ev.Dropped)
+
+	// Relation heat: which relations the workload actually touches.
+	if heat := s.heat.Snapshot(); len(heat) > 0 {
+		counterHeader("emptyheaded_relation_reads_total", "Query executions reading each relation.")
+		for _, h := range heat {
+			fmt.Fprintf(&sb, "emptyheaded_relation_reads_total{relation=%q} %d\n", h.Relation, h.Reads)
+		}
+		counterHeader("emptyheaded_relation_probes_total", "Loop-nest probes attributed to each relation (participation counts).")
+		for _, h := range heat {
+			fmt.Fprintf(&sb, "emptyheaded_relation_probes_total{relation=%q} %d\n", h.Relation, h.Probes)
+		}
+		counterHeader("emptyheaded_relation_update_rows_total", "Streamed update rows applied to each relation.")
+		for _, h := range heat {
+			fmt.Fprintf(&sb, "emptyheaded_relation_update_rows_total{relation=%q} %d\n", h.Relation, h.UpdateRows)
+		}
+	}
+
+	// Standard build-info gauge: constant 1, metadata in the labels.
+	fmt.Fprintf(&sb, "# HELP eh_build_info Build metadata of the serving binary.\n# TYPE eh_build_info gauge\n")
+	sb.WriteString(obs.ReadBuildInfo().PromLine())
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

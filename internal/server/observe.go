@@ -1,16 +1,14 @@
 package server
 
 import (
-	"encoding/json"
-	"io"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"emptyheaded/internal/exec"
 	"emptyheaded/internal/metrics"
+	"emptyheaded/internal/obs"
 	"emptyheaded/internal/trace"
 )
 
@@ -21,8 +19,11 @@ import (
 var queryPhases = []string{"admission", "plan", "execute", "render", "cache_fill"}
 
 // observability bundles the server's latency histograms and the
-// structured slow-query log. Histograms are fixed-bucket and lock-free
-// on Observe; the slow log serializes line writes under a mutex.
+// unified structured event log (which absorbed the PR 6 slow-query
+// log: slow requests are now slow_query events alongside rotations,
+// compactions, breaker transitions and panics, in one sequenced
+// stream). Histograms are fixed-bucket and lock-free on Observe; the
+// event log serializes line writes under its own mutex.
 type observability struct {
 	query    *metrics.Histogram
 	phases   map[string]*metrics.Histogram
@@ -32,8 +33,7 @@ type observability struct {
 	compact  *metrics.Histogram
 
 	slowThreshold time.Duration
-	slowMu        sync.Mutex
-	slowLog       io.Writer
+	events        *obs.EventLog
 }
 
 func newObservability(cfg Config) *observability {
@@ -45,7 +45,13 @@ func newObservability(cfg Config) *observability {
 		fsync:         metrics.NewHistogram(metrics.FsyncBuckets),
 		compact:       metrics.NewHistogram(metrics.LatencyBuckets),
 		slowThreshold: cfg.SlowQueryThreshold,
-		slowLog:       cfg.SlowQueryLog,
+		events:        cfg.Events,
+	}
+	if o.events == nil {
+		// Back-compat: a configured slow-query writer becomes the event
+		// sink, so existing deployments keep their JSON lines (now with
+		// the seq/kind envelope) in the same place.
+		o.events = obs.NewEventLog(cfg.SlowQueryLog)
 	}
 	for _, p := range queryPhases {
 		o.phases[p] = metrics.NewHistogram(metrics.LatencyBuckets)
@@ -87,47 +93,37 @@ func (o *observability) finishTrace(tr *trace.Trace) {
 	o.maybeLogSlow(tr)
 }
 
-// slowQueryLine is one JSON line of the structured slow-query log.
-type slowQueryLine struct {
-	TS          string            `json:"ts"`
-	TraceID     uint64            `json:"trace_id"`
-	Kind        string            `json:"kind"`
-	Fingerprint string            `json:"fingerprint,omitempty"`
-	TotalUS     int64             `json:"total_us"`
-	PhasesUS    map[string]int64  `json:"phases_us,omitempty"`
-	Attrs       map[string]string `json:"attrs,omitempty"`
-	Error       string            `json:"error,omitempty"`
-}
-
+// maybeLogSlow emits a slow_query event for requests that crossed the
+// configured threshold. The fields mirror the PR 6 slow-query line;
+// the ts/seq/trace_id envelope is stamped by the event log.
 func (o *observability) maybeLogSlow(tr *trace.Trace) {
-	if o.slowThreshold <= 0 || o.slowLog == nil || tr == nil {
+	if o.slowThreshold <= 0 || tr == nil {
 		return
 	}
 	if time.Duration(tr.TotalUS)*time.Microsecond < o.slowThreshold {
 		return
 	}
-	line := slowQueryLine{
-		TS:          tr.Start.UTC().Format(time.RFC3339Nano),
-		TraceID:     tr.ID,
-		Kind:        tr.Kind,
-		Fingerprint: tr.Fingerprint,
-		TotalUS:     tr.TotalUS,
-		PhasesUS:    phasesOf(tr),
-		Error:       tr.Error,
+	fields := map[string]any{
+		"request":  tr.Kind,
+		"total_us": tr.TotalUS,
+	}
+	if tr.Fingerprint != "" {
+		fields["fingerprint"] = tr.Fingerprint
+	}
+	if ph := phasesOf(tr); len(ph) > 0 {
+		fields["phases_us"] = ph
 	}
 	if len(tr.Attrs) > 0 {
-		line.Attrs = make(map[string]string, len(tr.Attrs))
+		attrs := make(map[string]string, len(tr.Attrs))
 		for _, a := range tr.Attrs {
-			line.Attrs[a.Key] = a.Val
+			attrs[a.Key] = a.Val
 		}
+		fields["attrs"] = attrs
 	}
-	b, err := json.Marshal(line)
-	if err != nil {
-		return
+	if tr.Error != "" {
+		fields["error"] = tr.Error
 	}
-	o.slowMu.Lock()
-	_, _ = o.slowLog.Write(append(b, '\n'))
-	o.slowMu.Unlock()
+	o.events.Emit("slow_query", tr.ID, fields)
 }
 
 // AnalyzeInfo is the /query "analyze": true payload: the request's

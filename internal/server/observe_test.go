@@ -166,6 +166,21 @@ func (w *syncWriter) String() string {
 	return w.buf.String()
 }
 
+// slowQueryEvent is the slow_query event line: the unified event-log
+// envelope (ts/seq/kind/trace_id) plus the slow-query fields.
+type slowQueryEvent struct {
+	TS          string            `json:"ts"`
+	Seq         uint64            `json:"seq"`
+	Kind        string            `json:"kind"`
+	TraceID     uint64            `json:"trace_id"`
+	Request     string            `json:"request"`
+	Fingerprint string            `json:"fingerprint"`
+	TotalUS     int64             `json:"total_us"`
+	PhasesUS    map[string]int64  `json:"phases_us"`
+	Attrs       map[string]string `json:"attrs"`
+	Error       string            `json:"error"`
+}
+
 func TestSlowQueryLog(t *testing.T) {
 	log := &syncWriter{}
 	_, ts := newTestService(t, Config{SlowQueryThreshold: time.Nanosecond, SlowQueryLog: log})
@@ -173,20 +188,36 @@ func TestSlowQueryLog(t *testing.T) {
 	qr := runQuery(t, ts.URL, triangleQ)
 	out := strings.TrimSpace(log.String())
 	if out == "" {
-		t.Fatal("no slow-query line written")
+		t.Fatal("no slow-query event written")
 	}
-	var line slowQueryLine
-	if err := json.Unmarshal([]byte(strings.Split(out, "\n")[0]), &line); err != nil {
-		t.Fatalf("slow-query line not JSON: %v in %q", err, out)
+	// The slow-query writer is now the unified event sink; find our
+	// request's slow_query event among whatever else was emitted.
+	var line slowQueryEvent
+	found := false
+	for _, raw := range strings.Split(out, "\n") {
+		var ev slowQueryEvent
+		if err := json.Unmarshal([]byte(raw), &ev); err != nil {
+			t.Fatalf("event line not JSON: %v in %q", err, raw)
+		}
+		if ev.Kind == "slow_query" && ev.TraceID == qr.TraceID {
+			line, found = ev, true
+			break
+		}
 	}
-	if line.TraceID != qr.TraceID || line.Kind != "query" || line.Fingerprint == "" {
-		t.Fatalf("slow-query line malformed: %+v", line)
+	if !found {
+		t.Fatalf("no slow_query event for trace %d in %q", qr.TraceID, out)
+	}
+	if line.TS == "" || line.Seq == 0 {
+		t.Fatalf("event envelope incomplete: %+v", line)
+	}
+	if line.Request != "query" || line.Fingerprint == "" {
+		t.Fatalf("slow-query event malformed: %+v", line)
 	}
 	if len(line.PhasesUS) == 0 {
-		t.Fatalf("slow-query line has no phase breakdown: %+v", line)
+		t.Fatalf("slow-query event has no phase breakdown: %+v", line)
 	}
 	if line.Attrs["read_epochs"] == "" {
-		t.Fatalf("slow-query line missing read_epochs: %+v", line)
+		t.Fatalf("slow-query event missing read_epochs: %+v", line)
 	}
 }
 

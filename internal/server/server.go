@@ -38,6 +38,7 @@ import (
 	"emptyheaded/internal/datalog"
 	"emptyheaded/internal/exec"
 	"emptyheaded/internal/graph"
+	"emptyheaded/internal/obs"
 	"emptyheaded/internal/semiring"
 	"emptyheaded/internal/storage"
 	"emptyheaded/internal/trace"
@@ -92,6 +93,20 @@ type Config struct {
 	// BreakerProbe paces the tripped breaker's background disk probes
 	// (default 1s).
 	BreakerProbe time.Duration
+	// WorkloadCap bounds the per-fingerprint workload registry (default
+	// obs.DefaultWorkloadCap; least-recently-observed fingerprints
+	// evict).
+	WorkloadCap int
+	// DisableWorkloadStats turns the workload profiler off: no
+	// fingerprint registry, no relation heat, and queries stop
+	// collecting kernel counters by default (Analyze requests still
+	// do). The zero value keeps it on — profiling is the default.
+	DisableWorkloadStats bool
+	// Events is the unified structured event log (slow queries, WAL
+	// rotations, compactions, snapshots, breaker transitions, panics,
+	// boot phases). Nil falls back to wrapping SlowQueryLog when that
+	// is set, else events are dropped.
+	Events *obs.EventLog
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +179,12 @@ type Server struct {
 	res       resilience
 	bootPhase atomic.Value
 
+	// workload is the per-fingerprint aggregate registry behind
+	// /debug/workload; heat the per-relation counters behind
+	// /debug/relations. Both nil when Config.DisableWorkloadStats.
+	workload *obs.Workload
+	heat     *obs.RelHeat
+
 	endpoints map[string]*latencyWindow
 }
 
@@ -200,15 +221,34 @@ func New(eng *core.Engine, cfg Config) *Server {
 			"/stats":     newLatencyWindow(),
 		},
 	}
+	if !cfg.DisableWorkloadStats {
+		s.workload = obs.NewWorkload(cfg.WorkloadCap)
+		s.heat = obs.NewRelHeat()
+	}
 	s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerProbe, eng.ProbeDurability)
+	// Breaker transitions land in the event log as paired breaker +
+	// degraded-mode events.
+	s.brk.notify = func(kind string, fields map[string]any) {
+		switch kind {
+		case "breaker_trip":
+			s.obs.events.Emit(kind, 0, fields)
+			s.obs.events.Emit("degraded_enter", 0, nil)
+		case "breaker_recover":
+			s.obs.events.Emit(kind, 0, fields)
+			s.obs.events.Emit("degraded_exit", 0, nil)
+		}
+	}
 	// Embedders serve a pre-loaded engine: ready from the start.
 	// eh-server walks the phase through its boot sequence instead.
 	s.bootPhase.Store("ready")
 	// Feed the core subsystems' latency events (WAL fsyncs, overlay
-	// compactions) into the server's histograms.
+	// compactions) into the server's histograms, and its state-changing
+	// events (rotations, compactions, snapshots, replay) into the
+	// unified event log.
 	eng.SetObservers(core.Observers{
 		WALFsync:   s.obs.fsync.Observe,
 		Compaction: s.obs.compact.Observe,
+		Event:      func(kind string, fields map[string]any) { s.obs.events.Emit(kind, 0, fields) },
 	})
 	return s
 }
@@ -232,6 +272,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("/debug/trace/", s.handleDebugTrace)
+	mux.HandleFunc("/debug/workload", s.handleDebugWorkload)
+	mux.HandleFunc("/debug/relations", s.handleDebugRelations)
+	mux.HandleFunc("/debug/cache", s.handleDebugCache)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
@@ -270,6 +313,9 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 		defer func() {
 			if v := recover(); v != nil {
 				s.res.recoveredPanics.Add(1)
+				s.obs.events.Emit("panic", 0, map[string]any{
+					"endpoint": path, "error": fmt.Sprintf("%v", v),
+				})
 				if !rec.wrote {
 					writeJSON(rec, http.StatusInternalServerError,
 						map[string]string{"error": fmt.Sprintf("internal panic: %v", v)})
@@ -327,6 +373,9 @@ func (s *Server) errStatus(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, exec.ErrExecPanic):
 		s.res.recoveredPanics.Add(1)
+		s.obs.events.Emit("panic", 0, map[string]any{
+			"boundary": "executor", "error": err.Error(),
+		})
 		return http.StatusInternalServerError
 	}
 	return http.StatusInternalServerError
@@ -495,6 +544,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.res.recoveredPanics.Add(1)
 			tr.SetError(fmt.Sprintf("panic: %v", v))
 			s.obs.finishTrace(tr)
+			s.obs.events.Emit("panic", tr.ID, map[string]any{
+				"endpoint": "/query", "error": fmt.Sprintf("%v", v),
+			})
 			if rec, ok := w.(*statusRecorder); !ok || !rec.wrote {
 				writeJSON(w, http.StatusInternalServerError,
 					map[string]any{"error": fmt.Sprintf("internal panic: %v", v), "trace_id": tr.ID})
@@ -507,12 +559,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// heavy joins. Analyze requests skip it: a cached serve has no
 	// counters to report.
 	if !req.NoCache && !req.Analyze {
-		if resp, ok := s.cachedByText(&req, limit); ok {
+		if resp, ok := s.cachedByText(&req, limit, tr); ok {
 			resp.ElapsedUS = time.Since(t0).Microseconds()
 			resp.TraceID = tr.ID
 			tr.Annot("served", "result_cache_fast_path")
 			s.obs.finishTrace(tr)
 			s.obs.query.Observe(time.Since(t0))
+			s.noteQuery(tr, &req, &resp, &runMeta{route: obs.RouteResultHit}, time.Since(t0), nil)
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -530,11 +583,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeErrTrace(w, err, tr.ID)
 		return
 	}
-	resp, az, err := s.runQuery(ctx, &req, limit, tr)
+	resp, meta, err := s.runQuery(ctx, &req, limit, tr)
 	release()
 	if err != nil {
 		tr.SetError(err.Error())
 		s.obs.finishTrace(tr)
+		s.noteQuery(tr, &req, nil, meta, time.Since(t0), err)
 		s.writeErrTrace(w, err, tr.ID)
 		return
 	}
@@ -546,13 +600,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			TotalUS:  resp.ElapsedUS,
 			PhasesUS: phasesOf(tr),
 		}
-		if az != nil {
-			resp.Analyze.Plan = az.plan
-			resp.Analyze.Bags = az.bags
+		if meta != nil && meta.az != nil {
+			resp.Analyze.Plan = meta.az.plan
+			resp.Analyze.Bags = meta.az.bags
 		}
 	}
 	s.obs.finishTrace(tr)
 	s.obs.query.Observe(time.Since(t0))
+	s.noteQuery(tr, &req, &resp, meta, time.Since(t0), nil)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -560,13 +615,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // parsing) and serves a fresh result-cache entry, re-labeled with this
 // spelling's attribute names. All lookups use peek so the full path's
 // accounting isn't double-booked when this misses.
-func (s *Server) cachedByText(req *QueryRequest, limit int) (QueryResponse, bool) {
+func (s *Server) cachedByText(req *QueryRequest, limit int, tr *trace.Trace) (QueryResponse, bool) {
 	av, ok := s.plans.aliases.peek(req.Query)
 	if !ok {
 		return QueryResponse{}, false
 	}
 	alias := av.(*aliasEntry)
-	rv, ok := s.results.peek(resultCacheKey(s.gen.Load(), alias.fp, limit, req.Columns))
+	tr.SetFingerprint(alias.fp)
+	resultKey := resultCacheKey(s.gen.Load(), alias.fp, limit, req.Columns)
+	rv, ok := s.results.peek(resultKey)
 	if !ok {
 		return QueryResponse{}, false
 	}
@@ -582,9 +639,10 @@ func (s *Server) cachedByText(req *QueryRequest, limit int) (QueryResponse, bool
 	// peek skipped the accounting; book the served hits explicitly. A
 	// fast-path serve is a plan-cache hit too: the cached plan's result
 	// is what made skipping execution possible.
-	s.plans.aliases.noteHit()
-	s.plans.plans.noteHit()
-	s.results.noteHit()
+	s.plans.aliases.noteHit(req.Query)
+	s.plans.plans.noteHit(alias.fp)
+	s.results.noteHit(resultKey)
+	s.noteHeatReads(s.eng.DB, cr.reads)
 	return resp, true
 }
 
@@ -607,9 +665,22 @@ func mapAttrs(attrs []string, m map[string]string) []string {
 	return out
 }
 
+// runMeta carries execution metadata out of runQuery for the workload
+// registry and the EXPLAIN ANALYZE payload: which cache route produced
+// the response, the run's kernel counters (when collected), and the
+// analyze rendering. The phase timings are stamped by the handler,
+// which owns the request clock.
+type runMeta struct {
+	// route is the cache route: obs.RouteResultHit / RoutePlanHit /
+	// RouteMiss.
+	route string
+	stats *exec.ExecStats
+	az    *analyzeData
+}
+
 // runQuery executes one admitted /query request. ctx cancels execution
 // cooperatively (client disconnect, query deadline).
-func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr *trace.Trace) (QueryResponse, *analyzeData, error) {
+func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr *trace.Trace) (QueryResponse, *runMeta, error) {
 	// Fork per request: the query runs against a consistent snapshot of
 	// relations + dictionary (a concurrent /load can't swap data mid
 	// query), and intermediate head relations stay session-local. The
@@ -630,6 +701,10 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr 
 	tr.SetFingerprint(entry.fp)
 	relEpochs, dictEpoch := fork.EpochsWithDict(entry.reads)
 	annotReadSet(tr, entry.reads, relEpochs, dictEpoch)
+	meta := &runMeta{route: obs.RouteMiss}
+	if planHit {
+		meta.route = obs.RoutePlanHit
+	}
 
 	resultKey := resultCacheKey(gen, entry.fp, limit, req.Columns)
 	if !req.NoCache && !req.Analyze {
@@ -639,11 +714,13 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr 
 				tr.End(sp)
 				tr.Annot("served", "result_cache")
 				s.obs.cacheAge.Observe(time.Since(cr.createdAt))
+				s.noteHeatReads(fork, cr.reads)
 				resp := cr.resp // copy; attrs re-labeled per spelling
 				resp.Attrs = mapAttrs(resp.Attrs, alias.canonToClient)
 				resp.ResultCached = true
 				resp.PlanCached = planHit
-				return resp, nil, nil
+				meta.route = obs.RouteResultHit
+				return resp, meta, nil
 			}
 			s.results.remove(resultKey) // some read relation (or the dict) moved on
 		}
@@ -655,7 +732,7 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr 
 		// Recompile against the fork failed (e.g. a relation vanished
 		// since the entry was cached).
 		s.plans.plans.remove(entry.fp)
-		return QueryResponse{}, nil, badRequest("compile: %v", err)
+		return QueryResponse{}, meta, badRequest("compile: %v", err)
 	}
 	// Push the response limit into execution with one row of headroom.
 	// For all-output listings the budget counts distinct tuples, so a
@@ -663,15 +740,30 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr 
 	// that project variables away count pre-dedup rows and may return a
 	// smaller truncated sample (see exec.Options.Limit). Aggregates and
 	// other non-listing shapes run to completion.
+	//
+	// Kernel counters are collected whenever the workload profiler is on
+	// (the default), not just for Analyze requests: the per-fingerprint
+	// registry and relation heat map aggregate them. The collection cost
+	// is bounded by the same <3% CI gate as EXPLAIN ANALYZE.
+	collect := req.Analyze || s.workload != nil
 	sp = tr.Begin("execute")
-	res, err := prep.RunWith(fork, exec.RunParams{Limit: limit + 1, Collect: req.Analyze, Trace: tr, Ctx: ctx})
+	res, err := prep.RunWith(fork, exec.RunParams{Limit: limit + 1, Collect: collect, Trace: tr, Ctx: ctx})
 	tr.End(sp)
 	if err != nil {
 		if !errors.Is(err, exec.ErrTimeout) && !errors.Is(err, exec.ErrCanceled) &&
 			!errors.Is(err, exec.ErrExecPanic) {
 			err = badRequest("%v", err)
 		}
-		return QueryResponse{}, nil, err
+		return QueryResponse{}, meta, err
+	}
+	s.noteHeatReads(fork, entry.reads)
+	if res.Stats != nil {
+		meta.stats = res.Stats
+		if s.heat != nil && res.Plan != nil {
+			for _, cell := range res.Plan.RelationLevelStats(res.Stats) {
+				s.heat.NoteLevel(cell.Rel, cell.Col, cell.Probes, cell.Intersections, cell.Skipped)
+			}
+		}
 	}
 
 	sp = tr.Begin("render")
@@ -696,14 +788,13 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr 
 		tr.End(sp)
 	}
 	resp.Attrs = mapAttrs(resp.Attrs, alias.canonToClient)
-	var az *analyzeData
 	if req.Analyze && res.Stats != nil {
-		az = &analyzeData{bags: res.Stats.Bags}
+		meta.az = &analyzeData{bags: res.Stats.Bags}
 		if res.Plan != nil {
-			az.plan = res.Plan.ExplainAnalyze(res.Stats)
+			meta.az.plan = res.Plan.ExplainAnalyze(res.Stats)
 		}
 	}
-	return resp, az, nil
+	return resp, meta, nil
 }
 
 // annotReadSet records the query's read set and the epochs it executed
@@ -1141,6 +1232,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.brk.success()
+	arity := len(b.InsCols)
+	if arity == 0 {
+		arity = len(b.DelCols)
+	}
+	rows := int64(res.Inserted + res.Deleted)
+	// Bytes are estimated from the columnar payload (4-byte codes per
+	// cell); annotation floats aren't counted.
+	s.heat.NoteUpdate(res.Rel, rows, rows*int64(arity)*4)
 	s.obs.finishTrace(tr)
 	s.obs.update.Observe(time.Since(t0))
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -1334,6 +1433,10 @@ type Stats struct {
 	Admission   AdmissionStats           `json:"admission"`
 	Durability  core.DurabilityStats     `json:"durability"`
 	Resilience  ResilienceStats          `json:"resilience"`
+	// Workload summarizes the fingerprint registry (zero when workload
+	// stats are disabled); Events the unified event log.
+	Workload obs.WorkloadTotals `json:"workload"`
+	Events   obs.EventLogStats  `json:"events"`
 }
 
 // ResilienceStats is the failure-contract section of /stats.
@@ -1370,6 +1473,8 @@ func (s *Server) StatsSnapshot() Stats {
 			Degraded:         !s.brk.allow(),
 			DegradedRejected: s.res.degradedRejected.Load(),
 		},
+		Workload: s.workload.Totals(),
+		Events:   s.obs.events.Stats(),
 	}
 }
 
