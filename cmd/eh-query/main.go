@@ -22,6 +22,11 @@
 // profiler is fetched from /debug/workload and rendered as a table of
 // the hottest query fingerprints — count, latency quantiles, cache-hit
 // rate, rows — sorted by -sort (count|latency|rows), -n rows deep.
+//
+// With -why "T(1,2,3)" (local -graph mode) the query's output tuple is
+// probed for provenance: is it derivable, through which contributing
+// rows of each body relation (classified base vs streamed overlay), and
+// against what lineage — see docs/PROVENANCE.md.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 
 	"emptyheaded"
 	"emptyheaded/internal/bench"
+	"emptyheaded/internal/core"
 )
 
 func main() {
@@ -49,6 +55,7 @@ func main() {
 	top := flag.Bool("top", false, "render the server's workload profile (requires -serve-url, no query argument)")
 	topSort := flag.String("sort", "count", "workload sort key for -top: count, latency or rows")
 	topN := flag.Int("n", 20, "fingerprints shown by -top")
+	why := flag.String("why", "", `probe why this output tuple (e.g. "T(1,2,3)") is in the result: per-atom contributing rows, base vs overlay, with lineage (requires -graph)`)
 	flag.Parse()
 
 	if *top {
@@ -69,6 +76,9 @@ func main() {
 	query := flag.Arg(0)
 
 	if *serveURL != "" {
+		if *why != "" {
+			fatal(fmt.Errorf("-why probes locally; it cannot be combined with -serve-url"))
+		}
 		remote(*serveURL, query, *limit, *serveRetries)
 		return
 	}
@@ -89,6 +99,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(plan)
+		return
+	}
+	if *why != "" {
+		rep, err := eng.Why(query, *why)
+		if err != nil {
+			fatal(err)
+		}
+		printWhy(rep)
 		return
 	}
 	t0 := time.Now()
@@ -275,6 +293,52 @@ func workloadTop(baseURL, sortKey string, n, retries int) {
 			fp.Count, usDur(fp.P50US), usDur(fp.P99US), hitPct, fp.Rows, fp.Errors, q)
 	}
 	tw.Flush()
+}
+
+// printWhy renders a per-tuple provenance probe: derivability, each
+// body atom's contributing rows (base vs overlay), and the lineage of
+// the relations involved.
+func printWhy(rep *core.WhyReport) {
+	if rep.Err != "" {
+		fmt.Printf("%s: probe error: %s\n", rep.Tuple, rep.Err)
+	} else if rep.Derivable {
+		plural := ""
+		if rep.Derivations != 1 {
+			plural = "s"
+		}
+		fmt.Printf("%s: derivable (%d derivation%s)\n", rep.Tuple, rep.Derivations, plural)
+	} else {
+		fmt.Printf("%s: NOT derivable\n", rep.Tuple)
+	}
+	for _, a := range rep.Atoms {
+		if a.Err != "" {
+			fmt.Printf("  %s: %s\n", a.Pattern, a.Err)
+			continue
+		}
+		suffix := ""
+		if a.OverlayRows > 0 {
+			suffix = fmt.Sprintf(", %d from overlay", a.OverlayRows)
+		}
+		fmt.Printf("  %s: %d matching row(s)%s\n", a.Pattern, a.Total, suffix)
+		for _, row := range a.Rows {
+			ann := ""
+			if row.Ann != 0 {
+				ann = fmt.Sprintf(" : %g", row.Ann)
+			}
+			fmt.Printf("    %v%s  [%s]\n", row.Tuple, ann, row.Source)
+		}
+		if a.Truncated {
+			fmt.Printf("    ... (%d more)\n", a.Total-len(a.Rows))
+		}
+	}
+	fmt.Println("lineage:")
+	for _, rl := range rep.Relations {
+		wm := "epoch-only"
+		if rl.WALSeq > 0 {
+			wm = fmt.Sprintf("wal_seq=%d", rl.WALSeq)
+		}
+		fmt.Printf("  %-20s epoch=%d overlay_gen=%d %s\n", rl.Name, rl.Epoch, rl.OverlayGen, wm)
+	}
 }
 
 // usDur renders microseconds as a compact duration.

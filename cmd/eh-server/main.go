@@ -87,6 +87,9 @@ func main() {
 	workloadCap := flag.Int("workload-cap", 0, "fingerprints retained in the workload registry (0 = default 256)")
 	noWorkload := flag.Bool("no-workload-stats", false, "disable the workload profiler (per-fingerprint stats, relation heat, default kernel-counter collection)")
 	traceRing := flag.Int("trace-ring", 0, "completed request traces retained for /debug/queries (0 = default 128)")
+	provRing := flag.Int("prov-ring", 0, "provenance records retained for /debug/provenance (0 = default 256)")
+	auditFraction := flag.Float64("audit-fraction", 0, "fraction of cached serves re-executed and compared by the background result-cache auditor (0 disables; POST /debug/audit sweeps on demand)")
+	noProvenance := flag.Bool("no-provenance", false, "disable determination-provenance recording (/debug/provenance, result lineage)")
 	flag.Parse()
 
 	eng := core.New()
@@ -139,6 +142,9 @@ func main() {
 		WorkloadCap:          *workloadCap,
 		DisableWorkloadStats: *noWorkload,
 		Events:               events,
+		ProvenanceRing:       *provRing,
+		AuditFraction:        *auditFraction,
+		DisableProvenance:    *noProvenance,
 	})
 	s.SetBootPhase("loading")
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}

@@ -186,18 +186,25 @@ func printStats(dir string) {
 
 func printCatalog(cat *storage.Catalog) {
 	fmt.Println(cat)
-	fmt.Printf("%-20s %5s %12s %6s %10s %8s %12s\n", "RELATION", "ARITY", "CARDINALITY", "OP", "EPOCH", "CRC32", "BYTES")
+	fmt.Printf("%-20s %5s %12s %6s %10s %10s %8s %12s\n", "RELATION", "ARITY", "CARDINALITY", "OP", "EPOCH", "WATERMARK", "CRC32", "BYTES")
 	for _, r := range cat.Relations {
 		op := r.Op
 		if !r.Annotated {
 			op = "-"
 		}
-		fmt.Printf("%-20s %5d %12d %6s %10d %08x %12d\n",
-			r.Name, r.Arity, r.Cardinality, op, r.Epoch, r.Checksum, r.Bytes)
+		// WALSeq is the relation's WAL applied-seq watermark; "-" marks
+		// epoch-only lineage (never journaled, or a pre-provenance
+		// snapshot).
+		wm := "-"
+		if r.WALSeq > 0 {
+			wm = fmt.Sprintf("%d", r.WALSeq)
+		}
+		fmt.Printf("%-20s %5d %12d %6s %10d %10s %08x %12d\n",
+			r.Name, r.Arity, r.Cardinality, op, r.Epoch, wm, r.Checksum, r.Bytes)
 	}
 	if cat.Dict != nil {
-		fmt.Printf("%-20s %5s %12d %6s %10d %08x %12d\n",
-			"(dictionary)", "-", cat.Dict.Count, "-", cat.DictEpoch, cat.Dict.Checksum, cat.Dict.Bytes)
+		fmt.Printf("%-20s %5s %12d %6s %10d %10s %08x %12d\n",
+			"(dictionary)", "-", cat.Dict.Count, "-", cat.DictEpoch, "-", cat.Dict.Checksum, cat.Dict.Bytes)
 	}
 }
 

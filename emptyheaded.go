@@ -155,6 +155,15 @@ func (e *Engine) Explain(query string) (string, error) { return e.c.Explain(quer
 // without a pinned plan and return an empty annotation.
 func (e *Engine) RunAnalyze(query string) (*Result, string, error) { return e.c.RunAnalyze(query) }
 
+// Why probes why tuple (a spec like "T(1,2,3)") is in the query's
+// output: the final rule re-runs with the output bindings pinned as
+// selection constants, and each body relation lists the contributing
+// rows that join under them, classified base vs overlay (fact
+// attribution — see docs/PROVENANCE.md and `eh-query -why`).
+func (e *Engine) Why(query, tuple string) (*core.WhyReport, error) {
+	return e.c.Why(query, tuple)
+}
+
 // Insert streams tuples into a relation without rebuilding its trie:
 // the rows land in the relation's delta overlay and queries see the
 // merged view immediately (see docs/DURABILITY.md). A relation that

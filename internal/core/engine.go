@@ -59,6 +59,7 @@ func New() *Engine {
 		lastSnaps: map[string]*storage.Catalog{},
 	}
 	e.upd.deltas = map[string]*relDelta{}
+	e.upd.watermarks = map[string]uint64{}
 	e.upd.compactRatio = DefaultCompactRatio
 	e.upd.compactMin = DefaultCompactMin
 	return e

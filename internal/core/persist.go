@@ -45,6 +45,14 @@ func (e *Engine) Snapshot(dir string) (*storage.Catalog, error) {
 		rotated = true
 	}
 	fork := e.DB.Fork()
+	// Copy the watermarks in the same critical section as the fork and
+	// the rotate: the three agree on one point in the update order, so
+	// the catalog's (epoch, wal_seq) pairs describe exactly the state the
+	// segments serialize.
+	marks := make(map[string]uint64, len(e.upd.watermarks))
+	for name, seq := range e.upd.watermarks {
+		marks[name] = seq
+	}
 	walHandle := e.upd.wal
 	event := e.upd.obs.Event
 	e.upd.mu.Unlock()
@@ -62,9 +70,10 @@ func (e *Engine) Snapshot(dir string) (*storage.Catalog, error) {
 			continue
 		}
 		snap.Relations = append(snap.Relations, storage.Relation{
-			Name:  name,
-			Trie:  rel.Canonical(),
-			Epoch: fork.EpochOf(name),
+			Name:   name,
+			Trie:   rel.Canonical(),
+			Epoch:  fork.EpochOf(name),
+			WALSeq: marks[name],
 		})
 	}
 	key := snapKey(dir)
@@ -140,6 +149,14 @@ func (e *Engine) Restore(dir string) (*storage.Catalog, error) {
 	e.upd.mu.Lock()
 	e.DB.InstallSnapshot(db.Tries, db.Epochs, db.Dict, db.Catalog.DictEpoch)
 	e.upd.deltas = map[string]*relDelta{}
+	// Adopt the snapshot's watermarks wholesale: the restored state
+	// reflects exactly the WAL prefixes the catalog recorded. A
+	// pre-provenance catalog restores all-zero watermarks — epoch-only
+	// lineage from here on.
+	e.upd.watermarks = make(map[string]uint64, len(db.Watermarks))
+	for name, seq := range db.Watermarks {
+		e.upd.watermarks[name] = seq
+	}
 	var sealed uint64
 	walHandle := e.upd.wal
 	if walHandle != nil {

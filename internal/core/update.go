@@ -58,6 +58,14 @@ type updState struct {
 	walCfg WALConfig
 	deltas map[string]*relDelta
 
+	// watermarks holds each relation's WAL applied-seq watermark: the
+	// highest WAL sequence number reflected in the relation's visible
+	// state. It advances only in applyRecordLocked (every advance pairs
+	// with an epoch bump — the invariant snapshot segment reuse relies
+	// on), survives snapshot/restore through the catalog, and is NOT
+	// touched by compaction (folding is content-preserving).
+	watermarks map[string]uint64
+
 	compactRatio float64
 	compactMin   int
 	// compactWG tracks in-flight background compactions so Close (and
@@ -372,6 +380,16 @@ func (e *Engine) applyRecordLocked(rec *wal.Record, tr *trace.Trace) (UpdateResu
 	tr.End(sp)
 	rd.installed = merged
 	rd.version++
+	if rec.Seq > 0 {
+		// Journaled update: the relation's visible state now reflects the
+		// WAL prefix through rec.Seq. Replay-synthesized records carry
+		// Seq 0; installLocked advances their watermarks from the scanned
+		// maxima instead.
+		if e.upd.watermarks == nil {
+			e.upd.watermarks = map[string]uint64{}
+		}
+		e.upd.watermarks[rec.Rel] = rec.Seq
+	}
 	e.upd.updates.Add(1)
 	e.upd.updateRows.Add(uint64(rec.InsRows() + rec.DelRows()))
 	return UpdateResult{
@@ -676,6 +694,10 @@ func (e *Engine) ProbeDurability() error {
 // final install is one batch per relation.
 type replayAcc struct {
 	rels map[string]*replayRel
+	// maxSeq tracks, per relation, the highest WAL sequence number seen
+	// during the scan; installLocked promotes it to the relation's
+	// watermark (the synthesized install records carry Seq 0).
+	maxSeq map[string]uint64
 }
 
 type replayRel struct {
@@ -691,9 +713,14 @@ type replayTuple struct {
 	ann float64
 }
 
-func newReplayAcc() *replayAcc { return &replayAcc{rels: map[string]*replayRel{}} }
+func newReplayAcc() *replayAcc {
+	return &replayAcc{rels: map[string]*replayRel{}, maxSeq: map[string]uint64{}}
+}
 
 func (a *replayAcc) add(rec *wal.Record, e *Engine) error {
+	if rec.Seq > a.maxSeq[rec.Rel] {
+		a.maxSeq[rec.Rel] = rec.Seq
+	}
 	rr := a.rels[rec.Rel]
 	if rr != nil && rr.arity != rec.Arity {
 		// The relation changed shape mid-log (an unjournaled load
@@ -802,6 +829,12 @@ func (a *replayAcc) installLocked(e *Engine) (skipped int, err error) {
 			skipped++
 			continue
 		}
+		// The synthesized record carries Seq 0; the installed view
+		// reflects the scanned prefix, so promote the scan's maximum to
+		// the watermark (pairing with the epoch bump the apply just made).
+		if seq := a.maxSeq[name]; seq > e.upd.watermarks[name] {
+			e.upd.watermarks[name] = seq
+		}
 	}
 	return skipped, nil
 }
@@ -870,6 +903,51 @@ func (e *Engine) Durability() DurabilityStats {
 	}
 	sort.Slice(st.Overlays, func(i, j int) bool { return st.Overlays[i].Relation < st.Overlays[j].Relation })
 	return st
+}
+
+// RelProv is one relation's live determination-provenance coordinates
+// (see internal/prov and docs/PROVENANCE.md).
+type RelProv struct {
+	// OverlayGen counts the update batches folded into the relation's
+	// merged view since its base was last replaced.
+	OverlayGen uint64
+	// WALSeq is the relation's WAL applied-seq watermark (0 = epoch-only
+	// lineage: no WAL, or restored from a pre-provenance snapshot).
+	WALSeq uint64
+	// OverlayRows is the live overlay size (pending inserts + tombstones).
+	OverlayRows int
+}
+
+// Lineage returns the provenance coordinates of the named relations,
+// read atomically under the update mutex so the set is one admissible
+// point in the update order. Unknown relations report zeros.
+func (e *Engine) Lineage(names []string) map[string]RelProv {
+	out := make(map[string]RelProv, len(names))
+	e.upd.mu.Lock()
+	for _, name := range names {
+		p := RelProv{WALSeq: e.upd.watermarks[name]}
+		if rd := e.upd.deltas[name]; rd != nil {
+			p.OverlayGen = rd.version
+			p.OverlayRows = rd.ov.Rows()
+		}
+		out[name] = p
+	}
+	e.upd.mu.Unlock()
+	return out
+}
+
+// Watermarks returns a copy of every relation's WAL applied-seq
+// watermark (zero-valued entries are omitted).
+func (e *Engine) Watermarks() map[string]uint64 {
+	e.upd.mu.Lock()
+	defer e.upd.mu.Unlock()
+	out := make(map[string]uint64, len(e.upd.watermarks))
+	for name, seq := range e.upd.watermarks {
+		if seq > 0 {
+			out[name] = seq
+		}
+	}
+	return out
 }
 
 // walSnapshotDirMatches reports whether a snapshot to dir may truncate

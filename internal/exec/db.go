@@ -404,6 +404,19 @@ func (r *Relation) Canonical() *trie.Trie {
 // overlay decomposition is fixed at construction, so no lock is needed.
 func (r *Relation) HasOverlay() bool { return r.base != nil }
 
+// Source classifies how a visible tuple enters the relation's merged
+// view: "overlay" when the streaming-update insert overlay contributes
+// it, "base" otherwise (including fully compacted relations). Callers
+// pass tuples in the relation's natural column order and internal code
+// space. The overlay decomposition is fixed at construction, so no lock
+// is needed.
+func (r *Relation) Source(tp []uint32) string {
+	if r.ovIns != nil && r.ovIns.Contains(tp) {
+		return "overlay"
+	}
+	return "base"
+}
+
 func indexKey(perm []int, layoutName string) string {
 	var sb strings.Builder
 	for _, p := range perm {

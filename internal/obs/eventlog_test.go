@@ -49,11 +49,16 @@ func TestEventLogEnvelope(t *testing.T) {
 
 // TestEventLogSeqOrder checks the determination-provenance property:
 // concurrent emitters produce a file whose line order IS the seq order,
-// with no gaps or duplicates.
+// with no gaps or duplicates. The emitters cycle through the provenance
+// kinds (query_provenance per execution, audit_mismatch from the cache
+// auditor) alongside plain ticks, so the interleaving the server
+// actually produces is what's exercised; per-kind counts must survive
+// the interleave intact.
 func TestEventLogSeqOrder(t *testing.T) {
 	var buf safeBuffer
 	l := NewEventLog(&buf)
-	const goroutines = 8
+	kinds := []string{"tick", "query_provenance", "audit_mismatch"}
+	const goroutines = 9 // multiple of len(kinds): uniform per-kind totals
 	const perG = 200
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
@@ -61,7 +66,7 @@ func TestEventLogSeqOrder(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
-				l.Emit("tick", uint64(g+1), map[string]any{"i": i})
+				l.Emit(kinds[g%len(kinds)], uint64(g+1), map[string]any{"i": i})
 			}
 		}(g)
 	}
@@ -69,9 +74,11 @@ func TestEventLogSeqOrder(t *testing.T) {
 
 	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
 	want := uint64(1)
+	byKind := map[string]int{}
 	for sc.Scan() {
 		var ev struct {
-			Seq uint64 `json:"seq"`
+			Seq  uint64 `json:"seq"`
+			Kind string `json:"kind"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatalf("line %d: %v", want, err)
@@ -79,10 +86,71 @@ func TestEventLogSeqOrder(t *testing.T) {
 		if ev.Seq != want {
 			t.Fatalf("line %d carries seq %d: file order is not seq order", want, ev.Seq)
 		}
+		byKind[ev.Kind]++
 		want++
 	}
 	if want-1 != goroutines*perG {
 		t.Fatalf("got %d events, want %d", want-1, goroutines*perG)
+	}
+	for _, k := range kinds {
+		if byKind[k] != goroutines/len(kinds)*perG {
+			t.Fatalf("kind %s: %d events, want %d (counts %v)",
+				k, byKind[k], goroutines/len(kinds)*perG, byKind)
+		}
+	}
+}
+
+// TestEventLogProvenanceKinds pins the wire shape of the two kinds this
+// package's consumers grep for (docs/PROVENANCE.md): query_provenance
+// carries structured per-relation lineage, audit_mismatch the drift
+// attribution; both flatten into the standard envelope.
+func TestEventLogProvenanceKinds(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.Emit("query_provenance", 11, map[string]any{
+		"fingerprint": "fp1",
+		"generation":  uint64(0),
+		"cardinality": 3,
+		"relations": []map[string]any{
+			{"relation": "Edge", "epoch": 4, "wal_seq": 9},
+		},
+	})
+	l.Emit("audit_mismatch", 12, map[string]any{
+		"fingerprint":        "fp1",
+		"cached_cardinality": 3,
+		"actual_cardinality": 4,
+		"cardinality_delta":  1,
+	})
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var qp struct {
+		Kind      string `json:"kind"`
+		TraceID   uint64 `json:"trace_id"`
+		Relations []struct {
+			Relation string `json:"relation"`
+			Epoch    uint64 `json:"epoch"`
+			WALSeq   uint64 `json:"wal_seq"`
+		} `json:"relations"`
+	}
+	if err := json.Unmarshal(lines[0], &qp); err != nil {
+		t.Fatal(err)
+	}
+	if qp.Kind != "query_provenance" || qp.TraceID != 11 ||
+		len(qp.Relations) != 1 || qp.Relations[0].WALSeq != 9 {
+		t.Fatalf("query_provenance line: %+v", qp)
+	}
+	var am struct {
+		Kind  string `json:"kind"`
+		Delta int    `json:"cardinality_delta"`
+	}
+	if err := json.Unmarshal(lines[1], &am); err != nil {
+		t.Fatal(err)
+	}
+	if am.Kind != "audit_mismatch" || am.Delta != 1 {
+		t.Fatalf("audit_mismatch line: %+v", am)
 	}
 }
 
@@ -112,9 +180,15 @@ func TestEventLogRotation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
+	// Alternate the provenance kind into the stream: rotation must not
+	// care what kinds it splits across files.
 	const total = 200
 	for i := 0; i < total; i++ {
-		l.Emit("tick", 0, map[string]any{"i": i, "pad": "xxxxxxxxxxxxxxxx"})
+		kind := "tick"
+		if i%2 == 1 {
+			kind = "query_provenance"
+		}
+		l.Emit(kind, 0, map[string]any{"i": i, "pad": "xxxxxxxxxxxxxxxx"})
 	}
 	st := l.Stats()
 	if st.Rotations == 0 {

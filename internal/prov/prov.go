@@ -1,0 +1,269 @@
+// Package prov implements determination provenance for query results:
+// the minimal lineage a deployment needs to decide whether two results
+// were determined by the same inputs in the same admissible order.
+//
+// A Record captures, for one query execution, the plan fingerprint and
+// per-relation lineage triple (mutation epoch, overlay generation, WAL
+// applied-seq watermark). The epoch says *whether* the relation changed,
+// the overlay generation says *how many* streamed batches shaped its
+// merged view, and the WAL watermark pins *which prefix of the one
+// admissible update order* the relation's visible state reflects — the
+// same sequence every replica must agree on (see docs/PROVENANCE.md).
+//
+// The package is deliberately engine-agnostic: the serving layer builds
+// Records at result time, retains them in a Ring keyed by trace id, and
+// feeds pairs to Diff to answer "why did this result change?".
+package prov
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RelLineage is one relation's determination lineage at result time.
+type RelLineage struct {
+	Relation string `json:"relation"`
+	// Epoch is the relation's mutation epoch as seen by the query's fork.
+	Epoch uint64 `json:"epoch"`
+	// OverlayGen counts the streamed update batches folded into the
+	// relation's merged view since its base was last replaced (0 when the
+	// relation is fully compacted or has never been streamed into).
+	OverlayGen uint64 `json:"overlay_gen,omitempty"`
+	// WALSeq is the applied-seq watermark: the highest WAL sequence
+	// number whose record is reflected in the relation's visible state.
+	// 0 means epoch-only lineage (no WAL, or a pre-watermark snapshot).
+	WALSeq uint64 `json:"wal_seq,omitempty"`
+	// OverlayRows is the relation's live overlay size (pending inserts +
+	// tombstones); the differ uses it to attribute cardinality drift.
+	OverlayRows int `json:"overlay_rows,omitempty"`
+}
+
+// Record is the determination-provenance record of one query result.
+type Record struct {
+	// TraceID links the record to its query-lifecycle trace (and through
+	// it to the workload registry); the Ring indexes on it.
+	TraceID uint64 `json:"trace_id"`
+	// Fingerprint is the normalized plan fingerprint of the query.
+	Fingerprint string `json:"fingerprint"`
+	// Generation is the server's restore generation at execution time.
+	Generation uint64 `json:"generation"`
+	// DictEpoch is the identifier dictionary's mutation epoch.
+	DictEpoch uint64 `json:"dict_epoch,omitempty"`
+	// Cardinality is the result's tuple count (1 for scalars).
+	Cardinality int `json:"cardinality"`
+	// Cached reports whether the result was served from the result cache
+	// (the record then describes the execution that filled the entry).
+	Cached bool `json:"cached,omitempty"`
+	// At is the wall time the record was built.
+	At time.Time `json:"at"`
+	// Relations is the per-relation lineage of the query's read set,
+	// sorted by relation name.
+	Relations []RelLineage `json:"relations"`
+}
+
+// Clone returns a deep copy of r (rings hand out aliases; consumers that
+// mutate — e.g. to mark a cache hit — copy first).
+func (r *Record) Clone() *Record {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.Relations = append([]RelLineage(nil), r.Relations...)
+	return &out
+}
+
+// Ring retains the most recent provenance records in a bounded buffer
+// with O(1) lookup by trace id. All methods are safe for concurrent use
+// and degrade to no-ops on a nil receiver.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []*Record
+	next    int
+	total   uint64
+	byTrace map[uint64]*Record
+}
+
+// NewRing returns a ring retaining the last n records; n <= 0 yields a
+// nil (disabled) ring.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		return nil
+	}
+	return &Ring{buf: make([]*Record, n), byTrace: make(map[uint64]*Record, n)}
+}
+
+// Add retains rec, evicting the oldest record once the ring is full.
+func (g *Ring) Add(rec *Record) {
+	if g == nil || rec == nil {
+		return
+	}
+	g.mu.Lock()
+	if old := g.buf[g.next]; old != nil && g.byTrace[old.TraceID] == old {
+		delete(g.byTrace, old.TraceID)
+	}
+	g.buf[g.next] = rec
+	if rec.TraceID != 0 {
+		g.byTrace[rec.TraceID] = rec
+	}
+	g.next = (g.next + 1) % len(g.buf)
+	g.total++
+	g.mu.Unlock()
+}
+
+// Get returns the retained record for a trace id.
+func (g *Ring) Get(traceID uint64) (*Record, bool) {
+	if g == nil {
+		return nil, false
+	}
+	g.mu.Lock()
+	rec, ok := g.byTrace[traceID]
+	g.mu.Unlock()
+	return rec, ok
+}
+
+// Recent returns up to max retained records, newest first.
+func (g *Ring) Recent(max int) []*Record {
+	if g == nil || max <= 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Record, 0, max)
+	for i := 1; i <= len(g.buf) && len(out) < max; i++ {
+		rec := g.buf[(g.next-i+len(g.buf))%len(g.buf)]
+		if rec == nil {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Stats reports the ring's occupancy.
+type Stats struct {
+	Capacity int    `json:"capacity"`
+	Retained int    `json:"retained"`
+	Total    uint64 `json:"total"`
+}
+
+// StatsSnapshot returns point-in-time occupancy counters.
+func (g *Ring) StatsSnapshot() Stats {
+	if g == nil {
+		return Stats{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	retained := 0
+	for _, rec := range g.buf {
+		if rec != nil {
+			retained++
+		}
+	}
+	return Stats{Capacity: len(g.buf), Retained: retained, Total: g.total}
+}
+
+// RelDrift reports one relation whose lineage differs between two
+// records of the same fingerprint.
+type RelDrift struct {
+	Relation string `json:"relation"`
+	// FromEpoch/ToEpoch (and the overlay/WAL pairs) are the lineage
+	// coordinates in the two records; a relation present in only one
+	// record reports the missing side as zeros with Added/Removed set.
+	FromEpoch      uint64 `json:"from_epoch"`
+	ToEpoch        uint64 `json:"to_epoch"`
+	FromOverlayGen uint64 `json:"from_overlay_gen,omitempty"`
+	ToOverlayGen   uint64 `json:"to_overlay_gen,omitempty"`
+	FromWALSeq     uint64 `json:"from_wal_seq,omitempty"`
+	ToWALSeq       uint64 `json:"to_wal_seq,omitempty"`
+	// OverlayRowsDelta is the change in live overlay size — the differ's
+	// first-order attribution of the cardinality delta.
+	OverlayRowsDelta int  `json:"overlay_rows_delta,omitempty"`
+	Added            bool `json:"added,omitempty"`
+	Removed          bool `json:"removed,omitempty"`
+}
+
+// DiffReport is the why-changed analysis of two records.
+type DiffReport struct {
+	Fingerprint string `json:"fingerprint"`
+	FromTrace   uint64 `json:"from_trace"`
+	ToTrace     uint64 `json:"to_trace"`
+	// CardinalityDelta is to.Cardinality - from.Cardinality.
+	CardinalityDelta int `json:"cardinality_delta"`
+	// GenerationChanged marks a restore between the two executions: the
+	// whole database was replaced, so per-relation drift is secondary.
+	GenerationChanged bool `json:"generation_changed,omitempty"`
+	DictDrifted       bool `json:"dict_drifted,omitempty"`
+	// Drifted lists relations whose lineage moved, sorted by name;
+	// empty means the two results were determined by identical inputs.
+	Drifted []RelDrift `json:"drifted,omitempty"`
+	// EpochOnly marks records lacking WAL watermarks (pre-watermark
+	// snapshot or no WAL): drift is attributed by epoch alone.
+	EpochOnly bool `json:"epoch_only,omitempty"`
+}
+
+// Diff explains why two results of the same fingerprint differ: which
+// relations' epochs/watermarks drifted between the executions, with the
+// overlay row delta as the cardinality attribution. Records with
+// different fingerprints are not comparable.
+func Diff(from, to *Record) (*DiffReport, error) {
+	if from == nil || to == nil {
+		return nil, fmt.Errorf("prov: diff needs two records")
+	}
+	if from.Fingerprint != to.Fingerprint {
+		return nil, fmt.Errorf("prov: fingerprints differ (%s vs %s); records are not comparable",
+			from.Fingerprint, to.Fingerprint)
+	}
+	rep := &DiffReport{
+		Fingerprint:       from.Fingerprint,
+		FromTrace:         from.TraceID,
+		ToTrace:           to.TraceID,
+		CardinalityDelta:  to.Cardinality - from.Cardinality,
+		GenerationChanged: from.Generation != to.Generation,
+		DictDrifted:       from.DictEpoch != to.DictEpoch,
+		EpochOnly:         true,
+	}
+	fromRels := map[string]RelLineage{}
+	for _, rl := range from.Relations {
+		fromRels[rl.Relation] = rl
+		if rl.WALSeq != 0 {
+			rep.EpochOnly = false
+		}
+	}
+	seen := map[string]bool{}
+	for _, b := range to.Relations {
+		seen[b.Relation] = true
+		if b.WALSeq != 0 {
+			rep.EpochOnly = false
+		}
+		a, ok := fromRels[b.Relation]
+		if !ok {
+			rep.Drifted = append(rep.Drifted, RelDrift{
+				Relation: b.Relation, ToEpoch: b.Epoch, ToOverlayGen: b.OverlayGen,
+				ToWALSeq: b.WALSeq, OverlayRowsDelta: b.OverlayRows, Added: true,
+			})
+			continue
+		}
+		if a == b {
+			continue
+		}
+		rep.Drifted = append(rep.Drifted, RelDrift{
+			Relation:  b.Relation,
+			FromEpoch: a.Epoch, ToEpoch: b.Epoch,
+			FromOverlayGen: a.OverlayGen, ToOverlayGen: b.OverlayGen,
+			FromWALSeq: a.WALSeq, ToWALSeq: b.WALSeq,
+			OverlayRowsDelta: b.OverlayRows - a.OverlayRows,
+		})
+	}
+	for _, a := range from.Relations {
+		if !seen[a.Relation] {
+			rep.Drifted = append(rep.Drifted, RelDrift{
+				Relation: a.Relation, FromEpoch: a.Epoch, FromOverlayGen: a.OverlayGen,
+				FromWALSeq: a.WALSeq, OverlayRowsDelta: -a.OverlayRows, Removed: true,
+			})
+		}
+	}
+	sort.Slice(rep.Drifted, func(i, j int) bool { return rep.Drifted[i].Relation < rep.Drifted[j].Relation })
+	return rep, nil
+}

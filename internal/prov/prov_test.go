@@ -1,0 +1,150 @@
+package prov
+
+import (
+	"fmt"
+	"testing"
+)
+
+func rec(trace uint64, fp string, card int, rels ...RelLineage) *Record {
+	return &Record{TraceID: trace, Fingerprint: fp, Cardinality: card, Relations: rels}
+}
+
+func TestRingAddGetEvict(t *testing.T) {
+	g := NewRing(3)
+	for i := uint64(1); i <= 5; i++ {
+		g.Add(rec(i, "fp", int(i)))
+	}
+	if _, ok := g.Get(1); ok {
+		t.Fatal("trace 1 should have been evicted")
+	}
+	if _, ok := g.Get(2); ok {
+		t.Fatal("trace 2 should have been evicted")
+	}
+	for i := uint64(3); i <= 5; i++ {
+		r, ok := g.Get(i)
+		if !ok || r.TraceID != i {
+			t.Fatalf("trace %d: got %+v, ok=%v", i, r, ok)
+		}
+	}
+	recent := g.Recent(10)
+	if len(recent) != 3 || recent[0].TraceID != 5 || recent[2].TraceID != 3 {
+		t.Fatalf("recent (newest first): %+v", recent)
+	}
+	st := g.StatsSnapshot()
+	if st.Capacity != 3 || st.Retained != 3 || st.Total != 5 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var g *Ring
+	g.Add(rec(1, "fp", 1))
+	if _, ok := g.Get(1); ok {
+		t.Fatal("nil ring returned a record")
+	}
+	if g.Recent(5) != nil {
+		t.Fatal("nil ring returned recent records")
+	}
+	if st := g.StatsSnapshot(); st.Capacity != 0 {
+		t.Fatalf("nil ring stats: %+v", st)
+	}
+	if NewRing(0) != nil {
+		t.Fatal("NewRing(0) should be nil (disabled)")
+	}
+}
+
+func TestDiffDetectsDrift(t *testing.T) {
+	from := rec(1, "fp", 10,
+		RelLineage{Relation: "Edge", Epoch: 3, OverlayGen: 2, WALSeq: 7, OverlayRows: 4},
+		RelLineage{Relation: "Node", Epoch: 1},
+	)
+	to := rec(2, "fp", 14,
+		RelLineage{Relation: "Edge", Epoch: 5, OverlayGen: 4, WALSeq: 11, OverlayRows: 9},
+		RelLineage{Relation: "Node", Epoch: 1},
+	)
+	rep, err := Diff(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CardinalityDelta != 4 {
+		t.Fatalf("cardinality delta %d, want 4", rep.CardinalityDelta)
+	}
+	if rep.EpochOnly {
+		t.Fatal("records carry watermarks; diff should not be epoch-only")
+	}
+	if len(rep.Drifted) != 1 {
+		t.Fatalf("drifted: %+v", rep.Drifted)
+	}
+	d := rep.Drifted[0]
+	if d.Relation != "Edge" || d.FromWALSeq != 7 || d.ToWALSeq != 11 || d.OverlayRowsDelta != 5 {
+		t.Fatalf("drift row: %+v", d)
+	}
+}
+
+func TestDiffEpochOnlyAndMembership(t *testing.T) {
+	from := rec(1, "fp", 3, RelLineage{Relation: "A", Epoch: 1}, RelLineage{Relation: "Gone", Epoch: 2})
+	to := rec(2, "fp", 3, RelLineage{Relation: "A", Epoch: 1}, RelLineage{Relation: "New", Epoch: 1, OverlayRows: 2})
+	rep, err := Diff(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.EpochOnly {
+		t.Fatal("no watermarks anywhere: diff should be epoch-only")
+	}
+	if len(rep.Drifted) != 2 {
+		t.Fatalf("drifted: %+v", rep.Drifted)
+	}
+	if rep.Drifted[0].Relation != "Gone" || !rep.Drifted[0].Removed {
+		t.Fatalf("removed relation: %+v", rep.Drifted[0])
+	}
+	if rep.Drifted[1].Relation != "New" || !rep.Drifted[1].Added || rep.Drifted[1].OverlayRowsDelta != 2 {
+		t.Fatalf("added relation: %+v", rep.Drifted[1])
+	}
+}
+
+func TestDiffRejectsMismatchedFingerprints(t *testing.T) {
+	if _, err := Diff(rec(1, "a", 0), rec(2, "b", 0)); err == nil {
+		t.Fatal("diff across fingerprints should error")
+	}
+	if _, err := Diff(nil, rec(1, "a", 0)); err == nil {
+		t.Fatal("nil record should error")
+	}
+}
+
+func TestRecordClone(t *testing.T) {
+	r := rec(1, "fp", 2, RelLineage{Relation: "Edge", Epoch: 3})
+	c := r.Clone()
+	c.Relations[0].Epoch = 99
+	c.Cached = true
+	if r.Relations[0].Epoch != 3 || r.Cached {
+		t.Fatalf("clone aliased the original: %+v", r)
+	}
+	if (*Record)(nil).Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}
+
+func BenchmarkRingAdd(b *testing.B) {
+	g := NewRing(256)
+	rels := []RelLineage{{Relation: "Edge", Epoch: 1, WALSeq: 1}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(&Record{TraceID: uint64(i + 1), Fingerprint: "fp", Relations: rels})
+	}
+}
+
+func BenchmarkDiff(b *testing.B) {
+	var fromRels, toRels []RelLineage
+	for i := 0; i < 8; i++ {
+		fromRels = append(fromRels, RelLineage{Relation: fmt.Sprintf("R%d", i), Epoch: uint64(i), WALSeq: uint64(i)})
+		toRels = append(toRels, RelLineage{Relation: fmt.Sprintf("R%d", i), Epoch: uint64(i + 1), WALSeq: uint64(i + 2)})
+	}
+	from := rec(1, "fp", 10, fromRels...)
+	to := rec(2, "fp", 20, toRels...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Diff(from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

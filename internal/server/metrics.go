@@ -200,6 +200,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Determination provenance: ring occupancy and the result-cache
+	// self-auditor's counters. eh_audit_mismatch_total is the alerting
+	// signal — any nonzero value means the cache served bytes the current
+	// data no longer determines.
+	pv := st.Provenance
+	gauge("eh_provenance_ring_records", "Provenance records currently retained in the ring.", float64(pv.Ring.Retained))
+	gauge("eh_provenance_ring_capacity", "Provenance ring capacity (0 = provenance disabled).", float64(pv.Ring.Capacity))
+	counterHeader("eh_provenance_records_total", "Provenance records built since boot (executions + cached serves).")
+	fmt.Fprintf(&sb, "eh_provenance_records_total %d\n", pv.Ring.Total)
+	counterHeader("eh_audit_checks_total", "Result-cache audit re-executions (sampled + on-demand sweeps).")
+	fmt.Fprintf(&sb, "eh_audit_checks_total %d\n", pv.Audit.Checks)
+	counterHeader("eh_audit_mismatch_total", "Cache audits whose re-execution disagreed with the served bytes.")
+	fmt.Fprintf(&sb, "eh_audit_mismatch_total %d\n", pv.Audit.Mismatches)
+	counterHeader("eh_audit_evicted_total", "Cache entries evicted by the auditor.")
+	fmt.Fprintf(&sb, "eh_audit_evicted_total %d\n", pv.Audit.Evicted)
+
 	// Standard build-info gauge: constant 1, metadata in the labels.
 	fmt.Fprintf(&sb, "# HELP eh_build_info Build metadata of the serving binary.\n# TYPE eh_build_info gauge\n")
 	sb.WriteString(obs.ReadBuildInfo().PromLine())

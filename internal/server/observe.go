@@ -9,6 +9,7 @@ import (
 	"emptyheaded/internal/exec"
 	"emptyheaded/internal/metrics"
 	"emptyheaded/internal/obs"
+	"emptyheaded/internal/prov"
 	"emptyheaded/internal/trace"
 )
 
@@ -196,5 +197,13 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, &httpError{http.StatusNotFound, "trace not retained (ring buffer wrapped or id never finished)"})
 		return
 	}
-	writeJSON(w, http.StatusOK, tr)
+	// The embedded struct keeps the JSON flat (same shape as before);
+	// the provenance record rides along when the ring still retains one
+	// for this trace.
+	out := struct {
+		*trace.Trace
+		Provenance *prov.Record `json:"provenance,omitempty"`
+	}{Trace: tr}
+	out.Provenance, _ = s.prov.Get(id)
+	writeJSON(w, http.StatusOK, out)
 }

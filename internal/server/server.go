@@ -37,8 +37,10 @@ import (
 	"emptyheaded/internal/core"
 	"emptyheaded/internal/datalog"
 	"emptyheaded/internal/exec"
+	"emptyheaded/internal/fault"
 	"emptyheaded/internal/graph"
 	"emptyheaded/internal/obs"
+	"emptyheaded/internal/prov"
 	"emptyheaded/internal/semiring"
 	"emptyheaded/internal/storage"
 	"emptyheaded/internal/trace"
@@ -107,6 +109,20 @@ type Config struct {
 	// boot phases). Nil falls back to wrapping SlowQueryLog when that
 	// is set, else events are dropped.
 	Events *obs.EventLog
+	// ProvenanceRing is how many query provenance records
+	// /debug/provenance retains (default 256).
+	ProvenanceRing int
+	// AuditFraction is the probability that one result-cache serve
+	// triggers a background self-audit of the served entry (the entry's
+	// query re-executes uncached and the responses are compared; a
+	// mismatch evicts the entry and emits an audit_mismatch event). 0
+	// disables sampling — POST /debug/audit still sweeps on demand.
+	AuditFraction float64
+	// DisableProvenance turns determination provenance off: no records,
+	// no ring, no query_provenance events. The zero value keeps it on —
+	// provenance is the default (its cost is bounded by the <3% CI
+	// gate); the off switch exists for that gate's baseline.
+	DisableProvenance bool
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +161,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerProbe <= 0 {
 		c.BreakerProbe = time.Second
+	}
+	if c.ProvenanceRing <= 0 {
+		c.ProvenanceRing = 256
 	}
 	return c
 }
@@ -185,6 +204,14 @@ type Server struct {
 	workload *obs.Workload
 	heat     *obs.RelHeat
 
+	// prov retains recent determination-provenance records (one per
+	// served query: fingerprint + per-relation epoch/overlay/WAL-seq
+	// lineage) for /debug/provenance and /debug/diff; nil when
+	// Config.DisableProvenance. audit holds the result-cache
+	// self-auditor's counters.
+	prov  *prov.Ring
+	audit auditCounters
+
 	endpoints map[string]*latencyWindow
 }
 
@@ -224,6 +251,9 @@ func New(eng *core.Engine, cfg Config) *Server {
 	if !cfg.DisableWorkloadStats {
 		s.workload = obs.NewWorkload(cfg.WorkloadCap)
 		s.heat = obs.NewRelHeat()
+	}
+	if !cfg.DisableProvenance {
+		s.prov = prov.NewRing(cfg.ProvenanceRing)
 	}
 	s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerProbe, eng.ProbeDurability)
 	// Breaker transitions land in the event log as paired breaker +
@@ -275,6 +305,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/workload", s.handleDebugWorkload)
 	mux.HandleFunc("/debug/relations", s.handleDebugRelations)
 	mux.HandleFunc("/debug/cache", s.handleDebugCache)
+	mux.HandleFunc("/debug/provenance", s.handleDebugProvenance)
+	mux.HandleFunc("/debug/provenance/", s.handleDebugProvenance)
+	mux.HandleFunc("/debug/diff", s.handleDebugDiff)
+	mux.HandleFunc("/debug/audit", s.handleDebugAudit)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
@@ -436,6 +470,12 @@ type QueryRequest struct {
 	// result-cache read is skipped — counters of a cached serve would be
 	// empty), but still fill the cache for later plain requests.
 	Analyze bool `json:"analyze,omitempty"`
+	// Provenance attaches the result's determination-provenance record
+	// (fingerprint, generation and per-relation epoch / overlay-gen /
+	// WAL-watermark lineage) to the response. Cached serves return the
+	// fill-time record — the state that determined the bytes served —
+	// re-stamped with this request's trace id and Cached: true.
+	Provenance bool `json:"provenance,omitempty"`
 }
 
 // QueryResponse is the /query reply.
@@ -466,6 +506,10 @@ type QueryResponse struct {
 	TraceID uint64 `json:"trace_id,omitempty"`
 	// Analyze carries the EXPLAIN ANALYZE payload when requested.
 	Analyze *AnalyzeInfo `json:"analyze,omitempty"`
+	// Provenance carries the determination-provenance record when
+	// requested (QueryRequest.Provenance; nil when provenance is
+	// disabled). Also retrievable later via /debug/provenance/<trace_id>.
+	Provenance *prov.Record `json:"provenance,omitempty"`
 }
 
 // cachedResult is one result-cache slot. Instead of the retired global
@@ -482,6 +526,15 @@ type cachedResult struct {
 	// createdAt stamps the fill time; serves observe the entry's age
 	// into the result-cache age histogram.
 	createdAt time.Time
+	// query/fp/limit/columns reconstruct the request that filled the
+	// entry, so the self-auditor can re-execute it; prov is the
+	// fill-time determination-provenance record (nil when provenance is
+	// disabled). All immutable after construction.
+	query   string
+	fp      string
+	limit   int
+	columns bool
+	prov    *prov.Record
 }
 
 // fresh reports whether cr is still valid against db's current epochs.
@@ -643,6 +696,10 @@ func (s *Server) cachedByText(req *QueryRequest, limit int, tr *trace.Trace) (Qu
 	s.plans.plans.noteHit(alias.fp)
 	s.results.noteHit(resultKey)
 	s.noteHeatReads(s.eng.DB, cr.reads)
+	if rec := s.provOnServe(cr, tr); rec != nil && req.Provenance {
+		resp.Provenance = rec
+	}
+	s.maybeSampleAudit(resultKey)
 	return resp, true
 }
 
@@ -719,6 +776,10 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr 
 				resp.Attrs = mapAttrs(resp.Attrs, alias.canonToClient)
 				resp.ResultCached = true
 				resp.PlanCached = planHit
+				if rec := s.provOnServe(cr, tr); rec != nil && req.Provenance {
+					resp.Provenance = rec
+				}
+				s.maybeSampleAudit(resultKey)
 				meta.route = obs.RouteResultHit
 				return resp, meta, nil
 			}
@@ -774,20 +835,50 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr 
 	// Canonicalize attribute names before caching so a future serve (or a
 	// recreated plan entry) can re-label them for any spelling.
 	resp.Attrs = mapAttrs(resp.Attrs, entry.attrToCanon)
+	// The provenance record stamps the lineage this execution ran
+	// against (relEpochs/dictEpoch were read from the fork before the
+	// run); it is recorded before the cache fill so the cached entry can
+	// carry it.
+	rec := s.noteProvenance(tr, entry.fp, gen, entry.reads, relEpochs, dictEpoch, resp.Cardinality)
 	if !req.NoCache && res.Trie.Cardinality() <= s.cfg.MaxCachedTuples {
 		// Analyze requests fill the cache too — with the plain response:
 		// trace and counters are per-request, not part of the result.
 		sp = tr.Begin("cache_fill")
+		stampEpochs := relEpochs
+		// Fault injection for the self-auditor's tests: a fired
+		// "server.cache.stamp" rule mis-stamps this entry's validity
+		// vector one epoch ahead, planting an entry that will claim
+		// freshness after the next real mutation while its content is
+		// stale — the bug class (epoch skew) the auditor exists to catch.
+		if ferr := fault.Hit("server.cache.stamp"); ferr != nil {
+			stampEpochs = make([]uint64, len(relEpochs))
+			for i, e := range relEpochs {
+				stampEpochs[i] = e
+				// Head shadows in the read set never accrue epochs; only
+				// real relations get the lying stamp.
+				if e > 0 {
+					stampEpochs[i] = e + 1
+				}
+			}
+		}
 		s.results.put(resultKey, &cachedResult{
 			reads:     entry.reads,
-			relEpochs: relEpochs,
+			relEpochs: stampEpochs,
 			dictEpoch: dictEpoch,
 			resp:      resp,
 			createdAt: time.Now(),
+			query:     req.Query,
+			fp:        entry.fp,
+			limit:     limit,
+			columns:   req.Columns,
+			prov:      rec,
 		})
 		tr.End(sp)
 	}
 	resp.Attrs = mapAttrs(resp.Attrs, alias.canonToClient)
+	if rec != nil && req.Provenance {
+		resp.Provenance = rec
+	}
 	if req.Analyze && res.Stats != nil {
 		meta.az = &analyzeData{bags: res.Stats.Bags}
 		if res.Plan != nil {
@@ -1437,6 +1528,9 @@ type Stats struct {
 	// stats are disabled); Events the unified event log.
 	Workload obs.WorkloadTotals `json:"workload"`
 	Events   obs.EventLogStats  `json:"events"`
+	// Provenance summarizes the determination-provenance ring and the
+	// result-cache auditor (zero-valued when provenance is disabled).
+	Provenance ProvenanceStats `json:"provenance"`
 }
 
 // ResilienceStats is the failure-contract section of /stats.
@@ -1473,8 +1567,9 @@ func (s *Server) StatsSnapshot() Stats {
 			Degraded:         !s.brk.allow(),
 			DegradedRejected: s.res.degradedRejected.Load(),
 		},
-		Workload: s.workload.Totals(),
-		Events:   s.obs.events.Stats(),
+		Workload:   s.workload.Totals(),
+		Events:     s.obs.events.Stats(),
+		Provenance: s.provenanceStats(),
 	}
 }
 

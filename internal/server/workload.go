@@ -10,6 +10,7 @@ import (
 	"emptyheaded/internal/core"
 	"emptyheaded/internal/exec"
 	"emptyheaded/internal/obs"
+	"emptyheaded/internal/prov"
 	"emptyheaded/internal/trace"
 )
 
@@ -93,10 +94,23 @@ func (s *Server) handleDebugWorkload(w http.ResponseWriter, r *http.Request) {
 		}
 		n = parsed
 	}
+	// Each fingerprint row links the provenance record of its last
+	// observed execution (when the ring still retains it) — one click
+	// from "this query is hot" to "this is the lineage it last ran on".
+	type workloadRow struct {
+		obs.FingerprintStats
+		Provenance *prov.Record `json:"provenance,omitempty"`
+	}
+	top := s.workload.TopK(sortKey, n)
+	rows := make([]workloadRow, len(top))
+	for i, fs := range top {
+		rows[i] = workloadRow{FingerprintStats: fs}
+		rows[i].Provenance, _ = s.prov.Get(fs.LastTraceID)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"totals":       s.workload.Totals(),
 		"sort":         sortKey,
-		"fingerprints": s.workload.TopK(sortKey, n),
+		"fingerprints": rows,
 	})
 }
 
@@ -170,6 +184,9 @@ type resultCacheEntry struct {
 	// ApproxBytes estimates the cached payload (8 bytes per rendered
 	// cell plus annotations).
 	ApproxBytes int64 `json:"approx_bytes"`
+	// Provenance is the record of the execution that filled the entry
+	// (nil when provenance is disabled).
+	Provenance *prov.Record `json:"provenance,omitempty"`
 }
 
 // handleDebugCache serves the plan and result caches' live contents
@@ -201,6 +218,7 @@ func (s *Server) handleDebugCache(w http.ResponseWriter, r *http.Request) {
 			Cardinality: cr.resp.Cardinality,
 			Truncated:   cr.resp.Truncated,
 			ApproxBytes: approxRespBytes(&cr.resp),
+			Provenance:  cr.prov,
 		}
 		results = append(results, row)
 	}

@@ -68,9 +68,10 @@ func Open(dir string) (*Database, error) {
 		return nil, err
 	}
 	db := &Database{
-		Tries:   make(map[string]*trie.Trie, len(cat.Relations)),
-		Epochs:  make(map[string]uint64, len(cat.Relations)),
-		Catalog: cat,
+		Tries:      make(map[string]*trie.Trie, len(cat.Relations)),
+		Epochs:     make(map[string]uint64, len(cat.Relations)),
+		Watermarks: make(map[string]uint64, len(cat.Relations)),
+		Catalog:    cat,
 	}
 	fail := func(err error) (*Database, error) {
 		db.Close()
@@ -94,6 +95,7 @@ func Open(dir string) (*Database, error) {
 		}
 		db.Tries[rm.Name] = t
 		db.Epochs[rm.Name] = rm.Epoch
+		db.Watermarks[rm.Name] = rm.WALSeq
 	}
 	if cat.Dict != nil {
 		payload, err := db.mapSegment(dir, cat.Dict.Segment, dictMagic, cat.Dict.Bytes, cat.Dict.Checksum)
@@ -188,6 +190,11 @@ func (c *Catalog) String() string {
 		c.FormatVersion, len(c.Relations), c.CardinalityTotal(), c.BytesTotal())
 	if c.Dict != nil {
 		fmt.Fprintf(&sb, ", dict %d ids", c.Dict.Count)
+	}
+	if c.ProvFormat > 0 {
+		fmt.Fprintf(&sb, ", prov v%d", c.ProvFormat)
+	} else {
+		sb.WriteString(", prov none (epoch-only lineage)")
 	}
 	return sb.String()
 }

@@ -38,6 +38,13 @@ const (
 	// catalog framing; readers reject snapshots from other major versions.
 	FormatVersion = 1
 
+	// ProvFormatVersion versions the provenance fields inside the catalog
+	// (per-relation WAL applied-seq watermarks). It rides inside the JSON
+	// payload rather than the frame version: older readers ignore unknown
+	// fields, and this build reads pre-provenance catalogs (ProvFormat 0)
+	// by degrading to epoch-only lineage — watermarks restore as 0.
+	ProvFormatVersion = 1
+
 	// CatalogFile is the catalog's file name inside a snapshot directory.
 	CatalogFile = "catalog.eh"
 	// DictPrefix prefixes the identifier dictionary's segment file name
@@ -62,9 +69,13 @@ func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
 // Catalog describes a snapshot: one row per relation plus the dictionary
 // reference. It doubles as the stats document printed by eh-snap.
 type Catalog struct {
-	FormatVersion int            `json:"format_version"`
-	Relations     []RelationMeta `json:"relations"`
-	Dict          *DictMeta      `json:"dict,omitempty"`
+	FormatVersion int `json:"format_version"`
+	// ProvFormat is the provenance-field version (see ProvFormatVersion);
+	// 0 marks a pre-provenance catalog whose relations carry no WAL
+	// watermarks (restores degrade to epoch-only lineage).
+	ProvFormat int            `json:"prov_format,omitempty"`
+	Relations  []RelationMeta `json:"relations"`
+	Dict       *DictMeta      `json:"dict,omitempty"`
 	// DictEpoch is the dictionary mutation epoch at snapshot time.
 	DictEpoch uint64 `json:"dict_epoch,omitempty"`
 }
@@ -79,6 +90,11 @@ type RelationMeta struct {
 	Cardinality int    `json:"cardinality"`
 	// Epoch is the relation's mutation epoch at snapshot time.
 	Epoch uint64 `json:"epoch"`
+	// WALSeq is the relation's WAL applied-seq watermark at snapshot
+	// time: the highest WAL sequence number reflected in the segment's
+	// content. 0 in pre-provenance catalogs and for relations never
+	// touched by a journaled update (epoch-only lineage).
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 	// Bytes is the segment payload length (excluding the 8-byte magic).
 	Bytes int64 `json:"bytes"`
 	// Checksum is the CRC-32C of the segment payload.
@@ -93,11 +109,13 @@ type DictMeta struct {
 	Checksum uint32 `json:"checksum"`
 }
 
-// Relation pairs a named trie with its mutation epoch for writing.
+// Relation pairs a named trie with its mutation epoch and WAL
+// applied-seq watermark for writing.
 type Relation struct {
-	Name  string
-	Trie  *trie.Trie
-	Epoch uint64
+	Name   string
+	Trie   *trie.Trie
+	Epoch  uint64
+	WALSeq uint64
 }
 
 // Snapshot is the write-side input: the full database state.
@@ -111,10 +129,14 @@ type Snapshot struct {
 // mmap'd segments, plus the catalog they came from. Close unmaps the
 // segments — only call it after every alias into them is dropped.
 type Database struct {
-	Tries   map[string]*trie.Trie
-	Epochs  map[string]uint64
-	Dict    *graph.Dictionary
-	Catalog *Catalog
+	Tries  map[string]*trie.Trie
+	Epochs map[string]uint64
+	// Watermarks holds each relation's WAL applied-seq watermark from the
+	// catalog; all zeros for a pre-provenance snapshot (epoch-only
+	// lineage, see Catalog.ProvFormat).
+	Watermarks map[string]uint64
+	Dict       *graph.Dictionary
+	Catalog    *Catalog
 
 	mappings []mapping
 }

@@ -69,7 +69,7 @@ func WriteIncremental(dir string, snap *Snapshot, prev *Catalog) (*Catalog, erro
 		}
 	}
 
-	cat := &Catalog{FormatVersion: FormatVersion, DictEpoch: snap.DictEpoch}
+	cat := &Catalog{FormatVersion: FormatVersion, ProvFormat: ProvFormatVersion, DictEpoch: snap.DictEpoch}
 	written := map[string]bool{CatalogFile: true}
 	for i, rel := range rels {
 		if rel.Trie == nil {
@@ -77,7 +77,9 @@ func WriteIncremental(dir string, snap *Snapshot, prev *Catalog) (*Catalog, erro
 		}
 		if pm, ok := prevRels[rel.Name]; ok && pm.Epoch == rel.Epoch && segmentIntact(dir, pm.Segment, pm.Bytes) {
 			// Epoch unchanged since the prev catalog: the relation was
-			// not replaced, so its segment bytes are still its state.
+			// not replaced, so its segment bytes are still its state. The
+			// watermark is reused too — it only advances through journaled
+			// updates, each of which also bumps the epoch.
 			written[pm.Segment] = true
 			cat.Relations = append(cat.Relations, pm)
 			continue
@@ -97,6 +99,7 @@ func WriteIncremental(dir string, snap *Snapshot, prev *Catalog) (*Catalog, erro
 			Op:          rel.Trie.Op.String(),
 			Cardinality: rel.Trie.Cardinality(),
 			Epoch:       rel.Epoch,
+			WALSeq:      rel.WALSeq,
 			Bytes:       int64(len(payload)),
 			Checksum:    crc,
 		})
