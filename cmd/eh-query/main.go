@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	eh-query -graph edges.txt [-directed] [-explain] [-analyze] [-limit 20] 'TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.'
+//	eh-query -graph edges.txt [-directed] [-explain] [-analyze] [-algo auto] [-limit 20] 'TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.'
 //	eh-query -serve-url http://localhost:8080 [-limit 20] 'TC(;w:long) :- ...'
 //
 // The graph is registered as the relation Edge (undirected by default:
 // each edge is loaded in both directions). -explain prints the physical
 // plan without running; -analyze runs the query with live kernel
 // counters and prints the plan annotated with actuals (EXPLAIN ANALYZE)
-// before the results.
+// — including the per-level kernel routes (layout pair + algorithm) the
+// adaptive set layouts dispatched to — before the results. -algo pins
+// the uint∩uint intersection algorithm (auto|merge|shuffle|galloping);
+// with -serve-url it travels as the /query "kernel" hint.
 //
 // With -serve-url the query is POSTed to the server's /query endpoint
 // instead of executing locally. Shed responses (503 overload or
@@ -42,6 +45,7 @@ import (
 	"emptyheaded"
 	"emptyheaded/internal/bench"
 	"emptyheaded/internal/core"
+	"emptyheaded/internal/set"
 )
 
 func main() {
@@ -56,7 +60,13 @@ func main() {
 	topSort := flag.String("sort", "count", "workload sort key for -top: count, latency or rows")
 	topN := flag.Int("n", 20, "fingerprints shown by -top")
 	why := flag.String("why", "", `probe why this output tuple (e.g. "T(1,2,3)") is in the result: per-atom contributing rows, base vs overlay, with lineage (requires -graph)`)
+	algoName := flag.String("algo", "", "pin the uint∩uint intersection algorithm: auto|merge|shuffle|galloping (default: the skew-based hybrid rule)")
 	flag.Parse()
+
+	algo, err := set.ParseAlgo(*algoName)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *top {
 		if *serveURL == "" || flag.NArg() != 0 {
@@ -79,7 +89,7 @@ func main() {
 		if *why != "" {
 			fatal(fmt.Errorf("-why probes locally; it cannot be combined with -serve-url"))
 		}
-		remote(*serveURL, query, *limit, *serveRetries)
+		remote(*serveURL, query, *limit, *serveRetries, *algoName, *analyze)
 		return
 	}
 
@@ -89,7 +99,7 @@ func main() {
 	}
 	defer f.Close()
 
-	eng := emptyheaded.New()
+	eng := emptyheaded.New(emptyheaded.WithKernelAlgo(algo))
 	if err := eng.LoadEdgeList("Edge", f, !*directed); err != nil {
 		fatal(err)
 	}
@@ -155,11 +165,21 @@ func main() {
 
 // remote posts the query to a live eh-server with the shed-retry policy
 // applied and renders the JSON response in the local output format.
-func remote(baseURL, query string, limit, retries int) {
-	body, err := json.Marshal(struct {
-		Query string `json:"query"`
-		Limit int    `json:"limit,omitempty"`
-	}{Query: query, Limit: limit})
+func remote(baseURL, query string, limit, retries int, algoName string, analyze bool) {
+	req := struct {
+		Query   string `json:"query"`
+		Limit   int    `json:"limit,omitempty"`
+		Analyze bool   `json:"analyze,omitempty"`
+		Kernel  *struct {
+			Algo string `json:"algo"`
+		} `json:"kernel,omitempty"`
+	}{Query: query, Limit: limit, Analyze: analyze}
+	if algoName != "" {
+		req.Kernel = &struct {
+			Algo string `json:"algo"`
+		}{Algo: algoName}
+	}
+	body, err := json.Marshal(req)
 	if err != nil {
 		fatal(err)
 	}
@@ -196,9 +216,18 @@ func remote(baseURL, query string, limit, retries int) {
 		Tuples      [][]int64 `json:"tuples"`
 		Anns        []float64 `json:"anns"`
 		Truncated   bool      `json:"truncated"`
+		Analyze     *struct {
+			Kernel string `json:"kernel"`
+			Plan   string `json:"plan"`
+		} `json:"analyze"`
 	}
 	if err := json.Unmarshal(raw, &qr); err != nil {
 		fatal(fmt.Errorf("decode response: %w", err))
+	}
+	if qr.Analyze != nil && qr.Analyze.Plan != "" {
+		fmt.Printf("-- kernel: %s\n", qr.Analyze.Kernel)
+		fmt.Print(qr.Analyze.Plan)
+		fmt.Println()
 	}
 	if qr.Scalar != nil {
 		fmt.Printf("%s = %g\n", qr.Name, *qr.Scalar)

@@ -320,3 +320,118 @@ func TestDifferentialRandom(t *testing.T) {
 		}
 	}
 }
+
+// TestMergedViewMixedLayouts pins the base, insert and delete tries to
+// every combination of set layout and checks the path-copying merge —
+// including the word-parallel bitset Merge3 path — against a map model.
+// Dense value runs make the bitset/composite layouts load-bearing
+// rather than degenerate.
+func TestMergedViewMixedLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var baseRows, insRows, delRows [][]uint32
+	// Dense block of destinations under a few sources, plus noise.
+	for src := uint32(0); src < 4; src++ {
+		for d := uint32(0); d < 300; d++ {
+			if rng.Intn(4) > 0 {
+				baseRows = append(baseRows, []uint32{src, d})
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		baseRows = append(baseRows, []uint32{uint32(rng.Intn(50)), uint32(rng.Intn(1 << 16))})
+	}
+	for i := 0; i < 150; i++ {
+		r := baseRows[rng.Intn(len(baseRows))]
+		delRows = append(delRows, []uint32{r[0], r[1]})
+	}
+	for src := uint32(0); src < 4; src++ {
+		for d := uint32(300); d < 400; d++ {
+			insRows = append(insRows, []uint32{src, d})
+		}
+	}
+
+	model := map[string]float64{}
+	for _, r := range baseRows {
+		model[tupleKey(r)] = 1
+	}
+	for _, r := range delRows {
+		delete(model, tupleKey(r))
+	}
+	for _, r := range insRows {
+		model[tupleKey(r)] = 1
+	}
+
+	layouts := map[string]trie.LayoutFunc{
+		"uint":      trie.UintLayout,
+		"bitset":    trie.BitsetLayout,
+		"composite": trie.CompositeLayout,
+		"auto":      trie.AutoLayout,
+	}
+	names := []string{"uint", "bitset", "composite", "auto"}
+	for _, bn := range names {
+		for _, on := range names {
+			base := buildTrieLayout(t, 2, baseRows, layouts[bn])
+			ins := buildTrieLayout(t, 2, insRows, layouts[on])
+			del := buildTrieLayout(t, 2, delRows, layouts[on])
+			for _, vn := range names {
+				view := MergedView(base, ins, del, layouts[vn])
+				if got := dump(view); !reflect.DeepEqual(got, model) {
+					t.Fatalf("base=%s overlay=%s view=%s: %d tuples, want %d",
+						bn, on, vn, len(got), len(model))
+				}
+			}
+		}
+	}
+}
+
+// buildTrieLayout is buildTrie with a pinned per-set layout.
+func buildTrieLayout(t *testing.T, arity int, rows [][]uint32, layout trie.LayoutFunc) *trie.Trie {
+	t.Helper()
+	cols := make([][]uint32, arity)
+	for c := range cols {
+		cols[c] = make([]uint32, len(rows))
+		for i, r := range rows {
+			cols[c][i] = r[c]
+		}
+	}
+	return trie.FromColumns(cols, nil, semiring.None, layout)
+}
+
+// TestUnionDifferenceMixedLayouts runs the compaction-path trie algebra
+// over pinned mixed layouts.
+func TestUnionDifferenceMixedLayouts(t *testing.T) {
+	var aRows, bRows [][]uint32
+	for d := uint32(0); d < 280; d++ {
+		aRows = append(aRows, []uint32{1, d})
+		if d%3 == 0 {
+			bRows = append(bRows, []uint32{1, d})
+		}
+	}
+	bRows = append(bRows, []uint32{2, 9})
+
+	wantU := map[string]float64{}
+	for _, r := range append(append([][]uint32{}, aRows...), bRows...) {
+		wantU[tupleKey(r)] = 1
+	}
+	wantD := map[string]float64{}
+	for _, r := range aRows {
+		wantD[tupleKey(r)] = 1
+	}
+	for _, r := range bRows {
+		delete(wantD, tupleKey(r))
+	}
+
+	layouts := []trie.LayoutFunc{trie.UintLayout, trie.BitsetLayout, trie.CompositeLayout}
+	for ai, al := range layouts {
+		for bi, bl := range layouts {
+			a := buildTrieLayout(t, 2, aRows, al)
+			b := buildTrieLayout(t, 2, bRows, bl)
+			if got := dump(Union(a, b, true, nil)); !reflect.DeepEqual(got, wantU) {
+				t.Fatalf("union layouts %d×%d: %d tuples, want %d", ai, bi, len(got), len(wantU))
+			}
+			if got := dump(Difference(a, b, nil)); !reflect.DeepEqual(got, wantD) {
+				t.Fatalf("difference layouts %d×%d: %d tuples, want %d", ai, bi, len(got), len(wantD))
+			}
+		}
+	}
+}

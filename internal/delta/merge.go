@@ -31,7 +31,7 @@ func (m *merger) merge(base, ins, del *trie.Node, level int) *trie.Node {
 // mergeLeaf builds the last-level set (base \ del) ∪ ins, with insert
 // annotations replacing base annotations.
 func (m *merger) mergeLeaf(base, ins, del *trie.Node, level int) *trie.Node {
-	vals := set.Merge3(nodeSet(base), nodeSet(ins), nodeSet(del))
+	vals := set.DefaultKernel.Merge3(nodeSet(base), nodeSet(ins), nodeSet(del))
 	if len(vals) == 0 {
 		return nil
 	}
@@ -238,7 +238,7 @@ func (d *differ) diff(a, b *trie.Node, level int) *trie.Node {
 	}
 	last := level == d.arity-1
 	if last {
-		vals := set.Merge3(a.Set, set.Empty(), b.Set)
+		vals := set.DefaultKernel.Merge3(a.Set, set.Empty(), b.Set)
 		if len(vals) == 0 {
 			return nil
 		}

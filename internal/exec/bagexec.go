@@ -167,11 +167,17 @@ type bagExec struct {
 	bp *BagPlan
 	// perLevel[lvl] lists (cursor, atomLevel) pairs participating at each
 	// bag level.
-	perLevel  [][]curRef
-	cursors   []*cursor
-	op        semiring.Op
-	cfg       set.Config
-	countTail bool // last level computable via IntersectCount
+	perLevel [][]curRef
+	cursors  []*cursor
+	op       semiring.Op
+	cfg      set.Config
+	// kern executes every pairwise set operation of the loop nest; on the
+	// analyze path kerns holds one counting kernel per loop level, each
+	// tallying routes into the matching lc[lvl].Kernel (per-worker, no
+	// atomics — see kernelAt).
+	kern      set.Kernel
+	kerns     []set.Kernel
+	countTail bool // last level computable via kernel Count
 	// scalarFactor is the ⊗-product of zero-arity participants (scalar
 	// child bags from disconnected components, e.g. the second triangle
 	// of the Barbell-selection plan).
@@ -255,6 +261,7 @@ func (p *Plan) execBag(bp *BagPlan) (t *trie.Trie, err error) {
 	}()
 	op := p.aggOp()
 	ex := &bagExec{p: p, bp: bp, op: op, cfg: p.opts.Intersect}
+	ex.kern = set.NewKernel(ex.cfg)
 	ex.perLevel = make([][]curRef, len(bp.Attrs))
 	ex.scalarFactor = op.One()
 	var bs *BagStats
@@ -266,6 +273,7 @@ func (p *Plan) execBag(bp *BagPlan) (t *trie.Trie, err error) {
 		}
 		p.stats.Bags = append(p.stats.Bags, bs)
 		ex.lc = newLevelCounters(len(bp.Attrs))
+		ex.initCountingKernels()
 		t0 := time.Now()
 		defer func() {
 			ex.drainInto(bs)
@@ -431,8 +439,28 @@ func (ex *bagExec) countTailOK() bool {
 }
 
 func (ex *bagExec) emptyResult() *trie.Trie {
-	b := trie.NewBuilder(len(ex.bp.OutAttrs), ex.op, ex.p.opts.layout())
+	b := trie.NewColumnarBuilder(len(ex.bp.OutAttrs), ex.op, ex.p.opts.layout())
 	return b.Build()
+}
+
+// initCountingKernels builds one counting kernel per loop level, each
+// writing into the matching lc[lvl].Kernel stats block. ex.lc must be
+// set; each worker clone calls this on its private lc, so the counters
+// stay contention-free and merge through LevelStats.add.
+func (ex *bagExec) initCountingKernels() {
+	ex.kerns = make([]set.Kernel, len(ex.lc))
+	for i := range ex.kerns {
+		ex.kerns[i] = set.NewCountingKernel(ex.cfg, &ex.lc[i].Kernel)
+	}
+}
+
+// kernelAt returns the kernel executing level lvl's pairwise set ops: the
+// shared plain kernel normally, the level's counting kernel under analyze.
+func (ex *bagExec) kernelAt(lvl int) set.Kernel {
+	if ex.kerns != nil {
+		return ex.kerns[lvl]
+	}
+	return ex.kern
 }
 
 // worker holds one goroutine's accumulation state. Output accumulates
@@ -487,7 +515,7 @@ func (w *worker) intersectionAtBufInner(lvl int) set.Set {
 			return cur
 		}
 		sb := &w.scratch[lvl][flip]
-		cur, sb.u, sb.w = set.IntersectBuf(cur, ex.levelSet(r), ex.cfg, sb.u, sb.w)
+		cur, sb.u, sb.w = ex.kernelAt(lvl).IntersectBuf(cur, ex.levelSet(r), sb.u, sb.w)
 		flip ^= 1
 	}
 	return cur
@@ -515,13 +543,13 @@ func (w *worker) countAtBufInner(lvl int) int {
 			return 0
 		}
 		sb := &w.scratch[lvl][flip]
-		cur, sb.u, sb.w = set.IntersectBuf(cur, ex.levelSet(refs[i]), ex.cfg, sb.u, sb.w)
+		cur, sb.u, sb.w = ex.kernelAt(lvl).IntersectBuf(cur, ex.levelSet(refs[i]), sb.u, sb.w)
 		flip ^= 1
 	}
 	if cur.IsEmpty() {
 		return 0
 	}
-	return set.IntersectCountCfg(cur, ex.levelSet(refs[len(refs)-1]), ex.cfg)
+	return ex.kernelAt(lvl).Count(cur, ex.levelSet(refs[len(refs)-1]))
 }
 
 // stealBlockMax bounds the work-stealing block size: small enough that a
@@ -652,12 +680,13 @@ func (ex *bagExec) runParallel() ([][]uint32, []float64, float64, error) {
 func (w *worker) withPrivateCursors() *worker {
 	old := w.ex
 	ex := &bagExec{
-		p: old.p, bp: old.bp, op: old.op, cfg: old.cfg,
+		p: old.p, bp: old.bp, op: old.op, cfg: old.cfg, kern: old.kern,
 		countTail: old.countTail, scalarFactor: old.scalarFactor,
 		lim: old.lim,
 	}
 	if old.lc != nil {
 		ex.lc = newLevelCounters(len(old.lc))
+		ex.initCountingKernels()
 	}
 	ex.perLevel = make([][]curRef, len(old.perLevel))
 	cmap := map[*cursor]*cursor{}
@@ -694,7 +723,7 @@ func (ex *bagExec) intersectionAtInner(lvl int) set.Set {
 		if cur.IsEmpty() {
 			return cur
 		}
-		cur = set.IntersectCfg(cur, ex.levelSet(r), ex.cfg)
+		cur = ex.kernelAt(lvl).Intersect(cur, ex.levelSet(r))
 	}
 	return cur
 }

@@ -204,7 +204,7 @@ func registerNaive(db *DB, name string, r *naiveRel) {
 	if r.annot {
 		op = r.op
 	}
-	b := trie.NewBuilder(r.arity, op, nil)
+	b := trie.NewColumnarBuilder(r.arity, op, nil)
 	for i, tp := range r.tuples {
 		if r.annot {
 			b.AddAnn(r.anns[i], tp...)

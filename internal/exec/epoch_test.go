@@ -9,7 +9,7 @@ import (
 )
 
 func tinyTrie(vals ...uint32) *trie.Trie {
-	b := trie.NewBuilder(1, semiring.None, nil)
+	b := trie.NewColumnarBuilder(1, semiring.None, nil)
 	for _, v := range vals {
 		b.Add(v)
 	}

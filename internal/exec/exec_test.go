@@ -347,7 +347,7 @@ func TestSumOverAnnotatedRelation(t *testing.T) {
 	// weights: s(x) = Σ_{z∈N(x)} v(z).
 	g := testGraph(60, 300, 11)
 	db := dbWithGraph(g)
-	vb := trie.NewBuilder(1, semiring.Sum, nil)
+	vb := trie.NewColumnarBuilder(1, semiring.Sum, nil)
 	vals := make([]float64, g.N)
 	rng := rand.New(rand.NewSource(12))
 	for v := 0; v < g.N; v++ {
@@ -371,7 +371,7 @@ func TestMinAggregate(t *testing.T) {
 	// M(x;m) :- Edge(x,z),Val(z); m=<<MIN(z)>>+1.
 	g := testGraph(60, 300, 13)
 	db := dbWithGraph(g)
-	vb := trie.NewBuilder(1, semiring.Min, nil)
+	vb := trie.NewColumnarBuilder(1, semiring.Min, nil)
 	vals := make([]float64, g.N)
 	rng := rand.New(rand.NewSource(14))
 	for v := 0; v < g.N; v++ {
@@ -400,8 +400,8 @@ func TestMatrixMultiply(t *testing.T) {
 	const n = 20
 	a := make([][]float64, n)
 	bm := make([][]float64, n)
-	ab := trie.NewBuilder(2, semiring.Sum, nil)
-	bb := trie.NewBuilder(2, semiring.Sum, nil)
+	ab := trie.NewColumnarBuilder(2, semiring.Sum, nil)
+	bb := trie.NewColumnarBuilder(2, semiring.Sum, nil)
 	for i := 0; i < n; i++ {
 		a[i] = make([]float64, n)
 		bm[i] = make([]float64, n)
@@ -606,7 +606,7 @@ func TestUnknownRelationError(t *testing.T) {
 
 func TestIndexPermutations(t *testing.T) {
 	db := NewDB()
-	b := trie.NewBuilder(2, semiring.None, nil)
+	b := trie.NewColumnarBuilder(2, semiring.None, nil)
 	b.Add(1, 10)
 	b.Add(2, 20)
 	b.Add(2, 30)

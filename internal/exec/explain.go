@@ -97,6 +97,9 @@ func (p *Plan) explain(st *ExecStats) string {
 			if bs != nil && lvl < len(bs.Levels) {
 				l := bs.Levels[lvl]
 				sx += fmt.Sprintf("  // actual: ∩=%d in=%d out=%d", l.Intersections, l.InputCard, l.OutputCard)
+				if !l.Kernel.IsZero() {
+					sx += " kernels[" + l.Kernel.String() + "]"
+				}
 			}
 			fmt.Fprintf(&sb, "%s%s\n", indent, sx)
 			verb := "for"

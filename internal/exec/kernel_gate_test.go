@@ -1,0 +1,221 @@
+package exec
+
+import (
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"emptyheaded/internal/datalog"
+	"emptyheaded/internal/gen"
+	"emptyheaded/internal/set"
+)
+
+// The kernel gate: on a skewed power-law graph the adaptive layouts +
+// word-parallel kernels must beat the scalar uint baseline (the paper's
+// "-RA" ablation: every set a sorted uint array, every intersection a
+// two-pointer merge) by ≥1.3× on triangle and 4-clique counting, and
+// the win must come from the dense routes — the analyze counters have
+// to show bitset/composite word-parallel dispatches.
+
+const (
+	qKernelTriangle = `TC(;w:long) :- R(x,y),S(y,z),T(x,z); w=<<COUNT(*)>>.`
+	qKernel4Clique  = `K4(;w:long) :- R(x,y),S(y,z),T(x,z),U(x,w_),V(y,w_),Q(z,w_); w=<<COUNT(*)>>.`
+)
+
+// kernelGateDB builds a skewed power-law graph dense enough (avg degree
+// 40, power-law hubs) that hub adjacency sets land in the
+// bitset/composite bands. 4-clique uses a smaller instance: its scalar
+// baseline is quartic-ish in hub degree and would dominate CI time.
+func kernelGateDB(n, m int) *DB {
+	return dbWithGraph(gen.PowerLaw(n, m, 2.2, 5))
+}
+
+func prepareQOpts(t testing.TB, db *DB, query string, opts Options) *Prepared {
+	prog, err := datalog.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Prepare(db, prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// wordParallelDispatches sums the word-parallel kernel dispatches
+// (bitset∩bitset and composite∩composite routes) across a run's levels.
+func wordParallelDispatches(st *ExecStats) int64 {
+	var n int64
+	for _, b := range st.Bags {
+		for i := range b.Levels {
+			n += b.Levels[i].Kernel.WordParallel()
+		}
+	}
+	return n
+}
+
+func TestKernelSpeedupGate(t *testing.T) {
+	if os.Getenv("EH_KERNEL_GATE") == "" {
+		t.Skip("set EH_KERNEL_GATE=1 to run the adaptive-kernel speedup gate")
+	}
+	for _, tc := range []struct {
+		name, q string
+		n, m    int
+		rounds  int
+	}{
+		{"triangle", qKernelTriangle, 3000, 60000, 15},
+		{"fourclique", qKernel4Clique, 1000, 20000, 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db := kernelGateDB(tc.n, tc.m)
+			scalarOpts := OptNoLayoutNoAlgo
+			scalarOpts.Parallelism = 1
+			adaptive := prepareQOpts(t, db, tc.q, Options{Parallelism: 1})
+			scalar := prepareQOpts(t, db, tc.q, scalarOpts)
+
+			run := func(pr *Prepared) (time.Duration, float64) {
+				fork := db.Fork()
+				start := time.Now()
+				res, err := pr.Run(fork)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return time.Since(start), res.Scalar()
+			}
+			// Warm both plans' lazily built relation indexes (the scalar
+			// side builds a separate uint-tagged index cache entry).
+			_, wantCount := run(adaptive)
+			if _, got := run(scalar); got != wantCount {
+				t.Fatalf("scalar baseline disagrees: %v vs %v", got, wantCount)
+			}
+
+			// The adaptive side must actually take the word-parallel routes
+			// — otherwise any speedup would be measuring something else.
+			st := &ExecStats{}
+			fork := db.Fork()
+			res, err := adaptive.RunWith(fork, RunParams{Collect: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = res
+			if wp := wordParallelDispatches(res.Stats); wp == 0 {
+				t.Fatalf("no word-parallel kernel dispatches recorded; stats %+v", st)
+			} else {
+				t.Logf("%s: %d word-parallel dispatches", tc.name, wp)
+			}
+
+			measure := func() float64 {
+				sc := make([]time.Duration, 0, tc.rounds)
+				ad := make([]time.Duration, 0, tc.rounds)
+				for i := 0; i < tc.rounds; i++ {
+					d, _ := run(scalar)
+					sc = append(sc, d)
+					d, _ = run(adaptive)
+					ad = append(ad, d)
+				}
+				sort.Slice(sc, func(i, j int) bool { return sc[i] < sc[j] })
+				sort.Slice(ad, func(i, j int) bool { return ad[i] < ad[j] })
+				return float64(sc[0]) / float64(ad[0])
+			}
+			// Interleaved min-of-rounds; best of 3 attempts rides out CI
+			// noise — a real regression fails every attempt.
+			best := 0.0
+			for attempt := 0; attempt < 3; attempt++ {
+				if r := measure(); r > best {
+					best = r
+				}
+				if best >= 1.3 {
+					break
+				}
+			}
+			t.Logf("%s: adaptive speedup %.2fx over scalar merge", tc.name, best)
+			if best < 1.3 {
+				t.Fatalf("%s: adaptive kernels %.2fx over scalar baseline, want ≥1.3x", tc.name, best)
+			}
+		})
+	}
+}
+
+// TestKernelHintRoutes checks the per-run kernel override: pinning the
+// algorithm changes the dispatch routes but never the result. Uint
+// layouts keep every dispatch in the uint∩uint cell, where the algo
+// choice is visible.
+func TestKernelHintRoutes(t *testing.T) {
+	db := dbWithGraph(testGraph(400, 4000, 19))
+	opts := OptNoLayout
+	opts.Parallelism = 1
+	pr := prepareQOpts(t, db, qKernelTriangle, opts)
+	base, err := pr.RunWith(db.Fork(), RunParams{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := pr.RunWith(db.Fork(), RunParams{
+		Collect: true,
+		Kernel:  &set.Config{Algo: set.AlgoMerge},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Scalar() != pinned.Scalar() {
+		t.Fatalf("kernel hint changed the result: %v vs %v", base.Scalar(), pinned.Scalar())
+	}
+	routeCount := func(st *ExecStats, r set.Route) int64 {
+		var n int64
+		for _, b := range st.Bags {
+			for i := range b.Levels {
+				n += b.Levels[i].Kernel.Counts[r]
+			}
+		}
+		return n
+	}
+	// Under AlgoMerge no uint∩uint pair may take shuffle or galloping.
+	if n := routeCount(pinned.Stats, set.RouteUintShuffle) + routeCount(pinned.Stats, set.RouteUintGallop); n != 0 {
+		t.Fatalf("pinned merge still dispatched %d adaptive uint routes", n)
+	}
+	if n := routeCount(pinned.Stats, set.RouteUintMerge); n == 0 {
+		t.Fatal("pinned merge dispatched no uint-merge routes")
+	}
+}
+
+// --- benchmarks for BENCH_pr10.json ------------------------------------
+
+func benchKernel(b *testing.B, query string, n, m int, opts Options) {
+	db := kernelGateDB(n, m)
+	pr := prepareQOpts(b, db, query, opts)
+	if _, err := pr.Run(db.Fork()); err != nil { // warm index caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pr.Run(db.Fork())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Scalar() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func scalarBenchOpts() Options {
+	o := OptNoLayoutNoAlgo
+	o.Parallelism = 1
+	return o
+}
+
+func BenchmarkKernelTriangleAdaptive(b *testing.B) {
+	benchKernel(b, qKernelTriangle, 3000, 60000, Options{Parallelism: 1})
+}
+
+func BenchmarkKernelTriangleScalar(b *testing.B) {
+	benchKernel(b, qKernelTriangle, 3000, 60000, scalarBenchOpts())
+}
+
+func BenchmarkKernel4CliqueAdaptive(b *testing.B) {
+	benchKernel(b, qKernel4Clique, 1000, 20000, Options{Parallelism: 1})
+}
+
+func BenchmarkKernel4CliqueScalar(b *testing.B) {
+	benchKernel(b, qKernel4Clique, 1000, 20000, scalarBenchOpts())
+}

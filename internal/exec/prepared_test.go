@@ -12,7 +12,7 @@ import (
 // k4DB returns a DB with the complete directed graph on 4 vertices as
 // Edge (24 directed edges, 4 triangles counted as 24 ordered instances).
 func k4DB() *DB {
-	b := trie.NewBuilder(2, semiring.None, nil)
+	b := trie.NewColumnarBuilder(2, semiring.None, nil)
 	for i := uint32(0); i < 4; i++ {
 		for j := uint32(0); j < 4; j++ {
 			if i != j {
@@ -108,7 +108,7 @@ func TestForkIsolation(t *testing.T) {
 	// Snapshot semantics: relations loaded into the parent after the fork
 	// are invisible to it.
 	f3 := db.Fork()
-	nb := trie.NewBuilder(1, semiring.None, nil)
+	nb := trie.NewColumnarBuilder(1, semiring.None, nil)
 	nb.Add(7)
 	db.AddTrie("Late", nb.Build())
 	if _, ok := f3.Relation("Late"); ok {
@@ -119,7 +119,7 @@ func TestForkIsolation(t *testing.T) {
 	}
 
 	// Re-adding in the fork shadows only the fork's view.
-	b := trie.NewBuilder(2, semiring.None, nil)
+	b := trie.NewColumnarBuilder(2, semiring.None, nil)
 	b.Add(0, 1)
 	f2.AddTrie("Edge", b.Build())
 	if r, ok := f2.Relation("Edge"); !ok || r.Cardinality() != 1 {
@@ -133,7 +133,7 @@ func TestForkIsolation(t *testing.T) {
 func TestDBVersionAdvances(t *testing.T) {
 	db := NewDB()
 	v0 := db.Version()
-	b := trie.NewBuilder(1, semiring.None, nil)
+	b := trie.NewColumnarBuilder(1, semiring.None, nil)
 	b.Add(1)
 	db.AddTrie("R", b.Build())
 	if db.Version() == v0 {

@@ -227,7 +227,7 @@ func retag(t *trie.Trie, op semiring.Op) *trie.Trie {
 	if t.Op == op {
 		return t
 	}
-	b := trie.NewBuilder(t.Arity, op, nil)
+	b := trie.NewColumnarBuilder(t.Arity, op, nil)
 	t.ForEachTuple(func(tp []uint32, ann float64) {
 		b.AddAnn(ann, tp...)
 	})
@@ -257,7 +257,7 @@ func runNaive(db *DB, rec *datalog.Rule, current *trie.Trie, op semiring.Op, opt
 		attrs = res.Attrs
 		var next *trie.Trie
 		if op.Monotone() {
-			nb := trie.NewBuilder(res.Trie.Arity, op, nil)
+			nb := trie.NewColumnarBuilder(res.Trie.Arity, op, nil)
 			current.ForEachTuple(func(tp []uint32, ann float64) { nb.AddAnn(ann, tp...) })
 			res.Trie.ForEachTuple(func(tp []uint32, ann float64) { nb.AddAnn(ann, tp...) })
 			next = nb.Build()
@@ -301,7 +301,7 @@ func runSeminaive(db *DB, rec *datalog.Rule, base *trie.Trie, op semiring.Op, op
 			return nil, err
 		}
 		attrs = res.Attrs
-		nb := trie.NewBuilder(1, op, nil)
+		nb := trie.NewColumnarBuilder(1, op, nil)
 		improved := 0
 		res.Trie.ForEachTuple(func(tp []uint32, ann float64) {
 			old, ok := best[tp[0]]
@@ -316,7 +316,7 @@ func runSeminaive(db *DB, rec *datalog.Rule, base *trie.Trie, op semiring.Op, op
 		}
 		delta = nb.Build()
 	}
-	out := trie.NewBuilder(1, op, nil)
+	out := trie.NewColumnarBuilder(1, op, nil)
 	for k, v := range best {
 		out.AddAnn(v, k)
 	}

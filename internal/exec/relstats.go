@@ -19,6 +19,11 @@ type RelLevelStat struct {
 	Probes        int64
 	Intersections int64
 	Skipped       int64
+	// WordParallel counts pairwise kernel dispatches at this cell's levels
+	// that ran a word-parallel dense route (bitset∩bitset or block∩block)
+	// — the heat map's evidence that the adaptive layouts engage where the
+	// relation is dense.
+	WordParallel int64
 }
 
 // RelationLevelStats maps a collected run's per-bag, per-level counters
@@ -81,6 +86,7 @@ func (p *Plan) RelationLevelStats(st *ExecStats) []RelLevelStat {
 					cell.Probes += lv.Probes
 					cell.Intersections += lv.Intersections
 					cell.Skipped += lv.Skipped
+					cell.WordParallel += lv.Kernel.WordParallel()
 				}
 			}
 		}

@@ -1,5 +1,7 @@
 package exec
 
+import "emptyheaded/internal/set"
+
 // ExecStats is the per-run EXPLAIN ANALYZE collector: live counters from
 // the generic-join loop nest, one BagStats per executed bag (assembly
 // included, BagID -1). Collection is opt-in per run (RunParams.Collect);
@@ -29,6 +31,10 @@ type LevelStats struct {
 	// child (rank miss during descent).
 	Probes  int64 `json:"probes"`
 	Skipped int64 `json:"skipped"`
+	// Kernel counts pairwise set-kernel dispatches at this level by route
+	// (layout pair + chosen algorithm) — the evidence for which cells of
+	// the mixed-intersection matrix the level actually exercised.
+	Kernel set.KernelStats `json:"kernel_routes,omitzero"`
 }
 
 func (l *LevelStats) add(o *LevelStats) {
@@ -37,6 +43,7 @@ func (l *LevelStats) add(o *LevelStats) {
 	l.OutputCard += o.OutputCard
 	l.Probes += o.Probes
 	l.Skipped += o.Skipped
+	l.Kernel.Add(&o.Kernel)
 }
 
 // BagStats aggregates one bag execution of the plan's Yannakakis pass.

@@ -264,9 +264,9 @@ func TestRelHeatSnapshot(t *testing.T) {
 	h := NewRelHeat()
 	h.NoteRead("Edge", false)
 	h.NoteRead("Edge", true)
-	h.NoteLevel("Edge", 0, 10, 5, 1)
-	h.NoteLevel("Edge", 1, 20, 8, 2)
-	h.NoteLevel("Edge", 1, 5, 1, 0)
+	h.NoteLevel("Edge", 0, 10, 5, 1, 3)
+	h.NoteLevel("Edge", 1, 20, 8, 2, 0)
+	h.NoteLevel("Edge", 1, 5, 1, 0, 1)
 	h.NoteUpdate("Edge", 3, 24)
 	h.NoteRead("Tri", false)
 
@@ -299,7 +299,7 @@ func TestRelHeatSnapshot(t *testing.T) {
 
 	var nilHeat *RelHeat
 	nilHeat.NoteRead("X", false)
-	nilHeat.NoteLevel("X", 0, 1, 1, 1)
+	nilHeat.NoteLevel("X", 0, 1, 1, 1, 1)
 	nilHeat.NoteUpdate("X", 1, 1)
 	if s := nilHeat.Snapshot(); s != nil {
 		t.Fatalf("nil heat snapshot: %v", s)

@@ -27,6 +27,10 @@ type relHeat struct {
 	probes        atomic.Int64
 	intersections atomic.Int64
 	skipped       atomic.Int64
+	// wordParallel counts pairwise kernel dispatches attributed to the
+	// relation that ran a word-parallel dense route (bitset∩bitset or
+	// block∩block) — the adaptive-layout engagement signal per relation.
+	wordParallel atomic.Int64
 
 	mu          sync.Mutex
 	levelProbes []*atomic.Int64 // index = original column of the relation
@@ -96,7 +100,7 @@ func (m *RelHeat) NoteRead(name string, overlay bool) {
 
 // NoteLevel attributes one loop-nest level's kernel counters to the
 // relation at the given original column. Nil-safe.
-func (m *RelHeat) NoteLevel(name string, col int, probes, intersections, skipped int64) {
+func (m *RelHeat) NoteLevel(name string, col int, probes, intersections, skipped, wordParallel int64) {
 	if m == nil {
 		return
 	}
@@ -104,6 +108,7 @@ func (m *RelHeat) NoteLevel(name string, col int, probes, intersections, skipped
 	h.probes.Add(probes)
 	h.intersections.Add(intersections)
 	h.skipped.Add(skipped)
+	h.wordParallel.Add(wordParallel)
 	if col >= 0 {
 		h.levelCounter(col).Add(probes)
 	}
@@ -134,6 +139,10 @@ type RelationHeat struct {
 	Probes        int64 `json:"probes,omitempty"`
 	Intersections int64 `json:"intersections,omitempty"`
 	Skipped       int64 `json:"skipped,omitempty"`
+	// WordParallel counts kernel dispatches that ran word-parallel dense
+	// routes while reading this relation; WordParallel/Intersections ≈
+	// how often the adaptive layouts put the relation's sets in dense form.
+	WordParallel int64 `json:"word_parallel,omitempty"`
 	// LevelProbes[i] is the probe count attributed to original column i.
 	LevelProbes []int64 `json:"level_probes,omitempty"`
 	// Update-path counters.
@@ -168,6 +177,7 @@ func (m *RelHeat) Snapshot() []RelationHeat {
 			Probes:        h.probes.Load(),
 			Intersections: h.intersections.Load(),
 			Skipped:       h.skipped.Load(),
+			WordParallel:  h.wordParallel.Load(),
 			UpdateBatches: h.updateBatches.Load(),
 			UpdateRows:    h.updateRows.Load(),
 			UpdateBytes:   h.updateBytes.Load(),

@@ -243,7 +243,7 @@ func BenchmarkRelHeatNoteLevel(b *testing.B) {
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			h.NoteLevel("Edge", 1, 100, 50, 10)
+			h.NoteLevel("Edge", 1, 100, 50, 10, 25)
 		}
 	})
 }

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestQueryKernelHint drives the /query kernel hint end to end: the
+// hint pins the uint∩uint algorithm for one run, never changes the
+// result, bypasses the result-cache read (a hinted request must
+// execute) but still fills the cache, and echoes through the analyze
+// payload. An unknown algorithm is rejected before admission.
+func TestQueryKernelHint(t *testing.T) {
+	_, ts := newTestService(t, Config{})
+
+	base := runQuery(t, ts.URL, triangleQ)
+	if base.Scalar == nil {
+		t.Fatalf("no scalar: %+v", base)
+	}
+
+	// Hinted request: same scalar, not served from the result cache even
+	// though the plain request above filled it.
+	var hinted QueryResponse
+	code, body := postJSON(t, ts.URL+"/query", map[string]any{
+		"query":   triangleQ,
+		"kernel":  map[string]string{"algo": "galloping"},
+		"analyze": true,
+	}, &hinted)
+	if code != http.StatusOK {
+		t.Fatalf("hinted query: code %d body %s", code, body)
+	}
+	if hinted.Scalar == nil || *hinted.Scalar != *base.Scalar {
+		t.Fatalf("hint changed the result: %+v vs %+v", hinted.Scalar, base.Scalar)
+	}
+	if hinted.ResultCached {
+		t.Fatal("hinted request served from result cache; it must execute")
+	}
+	if hinted.Analyze == nil || hinted.Analyze.Kernel != "galloping" {
+		t.Fatalf("analyze kernel echo: %+v", hinted.Analyze)
+	}
+
+	// The per-level dispatch routes ride on the annotated plan.
+	if hinted.Analyze.Plan == "" || !strings.Contains(hinted.Analyze.Plan, "kernels[") {
+		t.Fatalf("annotated plan lacks kernel routes:\n%s", hinted.Analyze.Plan)
+	}
+
+	// "auto" is the explicit default spelling.
+	var auto QueryResponse
+	if code, body := postJSON(t, ts.URL+"/query", map[string]any{
+		"query":  triangleQ,
+		"kernel": map[string]string{"algo": "auto"},
+	}, &auto); code != http.StatusOK {
+		t.Fatalf("auto hint: code %d body %s", code, body)
+	} else if *auto.Scalar != *base.Scalar {
+		t.Fatalf("auto hint changed the result")
+	}
+
+	// Unknown algorithm: 400 before admission.
+	if code, body := postJSON(t, ts.URL+"/query", map[string]any{
+		"query":  triangleQ,
+		"kernel": map[string]string{"algo": "simd"},
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad algo: code %d body %s", code, body)
+	}
+
+	// An unhinted request still hits the cache the hinted run refilled.
+	again := runQuery(t, ts.URL, triangleQ)
+	if !again.ResultCached {
+		t.Fatalf("plain request after hinted run not cached: %+v", again)
+	}
+}

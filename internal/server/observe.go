@@ -142,6 +142,11 @@ type AnalyzeInfo struct {
 	Plan string `json:"plan,omitempty"`
 	// Bags holds the raw per-bag, per-level execution counters.
 	Bags []*exec.BagStats `json:"bags,omitempty"`
+	// Kernel echoes the request's kernel hint as resolved ("auto" when
+	// none was sent); the per-level routes actually taken are in
+	// Bags[].Levels[].Kernel and on the annotated Plan's kernels[...]
+	// columns.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // analyzeData carries the execution-side analyze payload out of

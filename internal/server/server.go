@@ -42,6 +42,7 @@ import (
 	"emptyheaded/internal/obs"
 	"emptyheaded/internal/prov"
 	"emptyheaded/internal/semiring"
+	"emptyheaded/internal/set"
 	"emptyheaded/internal/storage"
 	"emptyheaded/internal/trace"
 )
@@ -476,6 +477,32 @@ type QueryRequest struct {
 	// fill-time record — the state that determined the bytes served —
 	// re-stamped with this request's trace id and Cached: true.
 	Provenance bool `json:"provenance,omitempty"`
+	// Kernel optionally pins the set-kernel configuration for this
+	// request. Results are identical under any kernel — only the dispatch
+	// routes change — but hinted requests always execute (cache reads are
+	// skipped) so the hint demonstrably steers the kernels; pair with
+	// "analyze": true to see the routes taken per trie level.
+	Kernel *KernelHint `json:"kernel,omitempty"`
+}
+
+// KernelHint is the /query "kernel" object: algo pins the uint∩uint
+// intersection algorithm ("auto"|"merge"|"shuffle"|"galloping"; "auto"
+// and "" keep the paper's skew-based hybrid rule).
+type KernelHint struct {
+	Algo string `json:"algo"`
+}
+
+// kernelConfig resolves the request's kernel hint to an exec override
+// (nil when no hint was sent) plus its echo string for AnalyzeInfo.
+func (req *QueryRequest) kernelConfig() (*set.Config, string, error) {
+	if req.Kernel == nil {
+		return nil, "auto", nil
+	}
+	algo, err := set.ParseAlgo(req.Kernel.Algo)
+	if err != nil {
+		return nil, "", err
+	}
+	return &set.Config{Algo: algo}, algo.String(), nil
 }
 
 // QueryResponse is the /query reply.
@@ -607,11 +634,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
+	if _, _, err := req.kernelConfig(); err != nil {
+		s.writeErr(w, badRequest("%v", err))
+		return
+	}
 	// Fast path: an exact-text repeat whose result is cached is served
 	// without taking a worker slot — a map lookup shouldn't queue behind
-	// heavy joins. Analyze requests skip it: a cached serve has no
-	// counters to report.
-	if !req.NoCache && !req.Analyze {
+	// heavy joins. Analyze requests skip it (a cached serve has no
+	// counters to report); kernel-hinted requests too (the hint steers
+	// execution, so they must execute).
+	if !req.NoCache && !req.Analyze && req.Kernel == nil {
 		if resp, ok := s.cachedByText(&req, limit, tr); ok {
 			resp.ElapsedUS = time.Since(t0).Microseconds()
 			resp.TraceID = tr.ID
@@ -648,10 +680,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp.ElapsedUS = time.Since(t0).Microseconds()
 	resp.TraceID = tr.ID
 	if req.Analyze {
+		_, kecho, _ := req.kernelConfig()
 		resp.Analyze = &AnalyzeInfo{
 			TraceID:  tr.ID,
 			TotalUS:  resp.ElapsedUS,
 			PhasesUS: phasesOf(tr),
+			Kernel:   kecho,
 		}
 		if meta != nil && meta.az != nil {
 			resp.Analyze.Plan = meta.az.plan
@@ -764,7 +798,7 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr 
 	}
 
 	resultKey := resultCacheKey(gen, entry.fp, limit, req.Columns)
-	if !req.NoCache && !req.Analyze {
+	if !req.NoCache && !req.Analyze && req.Kernel == nil {
 		if v, ok := s.results.get(resultKey); ok {
 			cr := v.(*cachedResult)
 			if cr.fresh(fork) {
@@ -807,8 +841,12 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr 
 	// registry and relation heat map aggregate them. The collection cost
 	// is bounded by the same <3% CI gate as EXPLAIN ANALYZE.
 	collect := req.Analyze || s.workload != nil
+	kcfg, _, kerr := req.kernelConfig()
+	if kerr != nil {
+		return QueryResponse{}, meta, badRequest("%v", kerr)
+	}
 	sp = tr.Begin("execute")
-	res, err := prep.RunWith(fork, exec.RunParams{Limit: limit + 1, Collect: collect, Trace: tr, Ctx: ctx})
+	res, err := prep.RunWith(fork, exec.RunParams{Limit: limit + 1, Collect: collect, Trace: tr, Ctx: ctx, Kernel: kcfg})
 	tr.End(sp)
 	if err != nil {
 		if !errors.Is(err, exec.ErrTimeout) && !errors.Is(err, exec.ErrCanceled) &&
@@ -822,7 +860,7 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest, limit int, tr 
 		meta.stats = res.Stats
 		if s.heat != nil && res.Plan != nil {
 			for _, cell := range res.Plan.RelationLevelStats(res.Stats) {
-				s.heat.NoteLevel(cell.Rel, cell.Col, cell.Probes, cell.Intersections, cell.Skipped)
+				s.heat.NoteLevel(cell.Rel, cell.Col, cell.Probes, cell.Intersections, cell.Skipped, cell.WordParallel)
 			}
 		}
 	}

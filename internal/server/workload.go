@@ -12,6 +12,7 @@ import (
 	"emptyheaded/internal/obs"
 	"emptyheaded/internal/prov"
 	"emptyheaded/internal/trace"
+	"emptyheaded/internal/trie"
 )
 
 // noteQuery merges one finished /query request into the workload
@@ -124,6 +125,10 @@ type relationHeatRow struct {
 	// Heat carries the workload counters; nil when the relation has
 	// never been read or updated since boot (or stats are disabled).
 	Heat *obs.RelationHeat `json:"heat,omitempty"`
+	// LayoutProfile is the per-level physical layout mix the adaptive
+	// layout optimizer chose for the relation's canonical trie (sets and
+	// members per layout per level).
+	LayoutProfile []trie.LevelLayoutProfile `json:"layout_profile,omitempty"`
 }
 
 // handleDebugRelations serves the relation heat map joined with the
@@ -144,6 +149,7 @@ func (s *Server) handleDebugRelations(w http.ResponseWriter, r *http.Request) {
 		row := relationHeatRow{RelationInfo: info, Heat: heat[info.Name]}
 		if rel, ok := s.eng.DB.Relation(info.Name); ok {
 			row.HasOverlay = rel.HasOverlay()
+			row.LayoutProfile = rel.Canonical().LayoutProfile()
 		}
 		rows = append(rows, row)
 		seen[info.Name] = true

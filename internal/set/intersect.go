@@ -1,6 +1,9 @@
 package set
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Algo selects a uint∩uint intersection algorithm (§4.2).
 type Algo uint8
@@ -12,7 +15,8 @@ const (
 	// AlgoMerge is the textbook scalar two-pointer merge.
 	AlgoMerge
 	// AlgoShuffle is the block-skipping merge standing in for the SIMD
-	// shuffling algorithm (compares 4 keys per step).
+	// shuffling algorithm (compares 4 keys per step, branch-free inner
+	// window).
 	AlgoShuffle
 	// AlgoGalloping is exponential search from the smaller set into the
 	// larger one; it satisfies the min property.
@@ -33,13 +37,30 @@ func (a Algo) String() string {
 	return "algo?"
 }
 
+// ParseAlgo maps an algorithm name ("auto", "merge", "shuffle",
+// "galloping"; "" means auto) to its Algo — the /query kernel hint and
+// the CLI flags resolve through it.
+func ParseAlgo(s string) (Algo, error) {
+	switch s {
+	case "", "auto":
+		return AlgoAuto, nil
+	case "merge":
+		return AlgoMerge, nil
+	case "shuffle":
+		return AlgoShuffle, nil
+	case "galloping", "gallop":
+		return AlgoGalloping, nil
+	}
+	return 0, fmt.Errorf("set: unknown intersection algorithm %q (want auto|merge|shuffle|galloping)", s)
+}
+
 // GallopRatio is the cardinality-skew threshold of the hybrid algorithm:
 // the paper selects SIMD galloping when |larger| / |smaller| > 32.
 const GallopRatio = 32
 
-// Config controls intersection execution; the zero value is the full
-// EmptyHeaded optimizer. The ablation flags reproduce the "-S", "-R" and
-// "-RA" rows of Tables 8 and 11.
+// Config parameterizes a Kernel (see NewKernel); the zero value is the
+// full EmptyHeaded optimizer. The ablation flags reproduce the "-S",
+// "-R" and "-RA" rows of Tables 8 and 11.
 type Config struct {
 	// Algo forces a specific uint∩uint algorithm. AlgoAuto applies the
 	// hybrid cardinality-skew rule. Setting AlgoMerge reproduces the
@@ -51,186 +72,6 @@ type Config struct {
 	// algorithm *choices* (galloping on cardinality skew) are kept, as
 	// in the paper's -S ablation.
 	BitByBit bool
-}
-
-// Default is the fully optimized configuration.
-var Default = Config{}
-
-// Intersect computes a ∩ b with the default configuration.
-func Intersect(a, b Set) Set { return IntersectCfg(a, b, Default) }
-
-// IntersectCount computes |a ∩ b| without materializing the result,
-// with the default configuration.
-func IntersectCount(a, b Set) int { return IntersectCountCfg(a, b, Default) }
-
-// IntersectBuf is IntersectCfg with caller-provided scratch: uint results
-// are stored in buf and bitset results in wbuf (both grown as needed and
-// returned for reuse). Results alias the buffers, so the caller owns the
-// lifetime. This is the allocation-free fast path of the generated loop
-// nests (§3.3): one scratch pair per loop level per worker.
-func IntersectBuf(a, b Set, cfg Config, buf []uint32, wbuf []uint64) (Set, []uint32, []uint64) {
-	if a.card == 0 || b.card == 0 {
-		return Set{}, buf, wbuf
-	}
-	switch {
-	case a.layout == Uint && b.layout == Uint:
-		out := intersectUintUint2(a.data, b.data, pickAlgo(a.data, b.data, cfg), buf[:0])
-		return FromSorted(out), out, wbuf
-	case a.layout == Uint && b.layout == Bitset:
-		out := intersectUintBitset(a.data, b, buf[:0])
-		return FromSorted(out), out, wbuf
-	case a.layout == Bitset && b.layout == Uint:
-		out := intersectUintBitset(b.data, a, buf[:0])
-		return FromSorted(out), out, wbuf
-	case a.layout == Bitset && b.layout == Bitset:
-		base, wa, wb, n := bitsetOverlap(a, b)
-		if n == 0 {
-			return Set{}, buf, wbuf
-		}
-		if cap(wbuf) < n {
-			wbuf = make([]uint64, n)
-		}
-		wbuf = wbuf[:n]
-		if cfg.BitByBit {
-			bitByBitAnd(wbuf, wa, wb, n)
-		} else {
-			for i := 0; i < n; i++ {
-				wbuf[i] = wa[i] & wb[i]
-			}
-		}
-		return fromBitsetWords(base, wbuf), buf, wbuf
-	default:
-		return IntersectCfg(a, b, cfg), buf, wbuf
-	}
-}
-
-func intersectUintUint2(a, b []uint32, algo Algo, out []uint32) []uint32 {
-	switch algo {
-	case AlgoGalloping:
-		return intersectGalloping(a, b, out)
-	case AlgoMerge:
-		return intersectMerge(a, b, out)
-	default:
-		return intersectShuffle(a, b, out)
-	}
-}
-
-// IntersectCfg computes a ∩ b under cfg. The result layout follows the
-// paper: uint∩uint→uint, bitset∩bitset→bitset, uint∩bitset→uint (the
-// result is at most as dense as the sparser input, §4.2 fn. 6),
-// composite∩composite→composite. Mixed composite pairs fall back to a
-// decode-and-merge path.
-func IntersectCfg(a, b Set, cfg Config) Set {
-	if a.card == 0 || b.card == 0 {
-		return Set{}
-	}
-	switch {
-	case a.layout == Uint && b.layout == Uint:
-		return FromSorted(intersectUintUint(a.data, b.data, pickAlgo(a.data, b.data, cfg)))
-	case a.layout == Bitset && b.layout == Bitset:
-		return intersectBitsetBitset(a, b, cfg.BitByBit)
-	case a.layout == Uint && b.layout == Bitset:
-		return FromSorted(intersectUintBitset(a.data, b, nil))
-	case a.layout == Bitset && b.layout == Uint:
-		return FromSorted(intersectUintBitset(b.data, a, nil))
-	case a.layout == Composite && b.layout == Composite:
-		return intersectCompositeComposite(a, b, cfg)
-	default:
-		// Mixed composite/other: probe the composite with the other side
-		// decoded lazily.
-		if a.layout == Composite {
-			a, b = b, a
-		}
-		var out []uint32
-		a.ForEach(func(_ int, v uint32) {
-			if b.containsOnly(v) {
-				out = append(out, v)
-			}
-		})
-		return FromSorted(out)
-	}
-}
-
-// intersectCountCompositeComposite merges the block lists and counts per
-// block without materialization (word-parallel on dense blocks).
-func intersectCountCompositeComposite(a, b Set) int {
-	n := 0
-	i, j := 0, 0
-	for i < len(a.blocks) && j < len(b.blocks) {
-		ba, bb := &a.blocks[i], &b.blocks[j]
-		if ba.id < bb.id {
-			i++
-			continue
-		}
-		if bb.id < ba.id {
-			j++
-			continue
-		}
-		switch {
-		case ba.dense && bb.dense:
-			for w := 0; w < blockWords; w++ {
-				n += bits.OnesCount64(ba.words[w] & bb.words[w])
-			}
-		case ba.dense != bb.dense:
-			sp, dn := ba, bb
-			if ba.dense {
-				sp, dn = bb, ba
-			}
-			for _, o := range sp.sparse {
-				if dn.words[o/64]&(1<<(o%64)) != 0 {
-					n++
-				}
-			}
-		default:
-			x, y := ba.sparse, bb.sparse
-			p, q := 0, 0
-			for p < len(x) && q < len(y) {
-				if x[p] == y[q] {
-					n++
-					p++
-					q++
-				} else if x[p] < y[q] {
-					p++
-				} else {
-					q++
-				}
-			}
-		}
-		i++
-		j++
-	}
-	return n
-}
-
-// IntersectCountCfg computes |a ∩ b| under cfg without materialization.
-func IntersectCountCfg(a, b Set, cfg Config) int {
-	if a.card == 0 || b.card == 0 {
-		return 0
-	}
-	switch {
-	case a.layout == Uint && b.layout == Uint:
-		return intersectCountUintUint(a.data, b.data, pickAlgo(a.data, b.data, cfg))
-	case a.layout == Bitset && b.layout == Bitset:
-		return intersectCountBitsetBitset(a, b, cfg.BitByBit)
-	case a.layout == Uint && b.layout == Bitset:
-		return intersectCountUintBitset(a.data, b)
-	case a.layout == Bitset && b.layout == Uint:
-		return intersectCountUintBitset(b.data, a)
-	case a.layout == Composite && b.layout == Composite:
-		return intersectCountCompositeComposite(a, b)
-	default:
-		n := 0
-		x, y := a, b
-		if y.card < x.card {
-			x, y = y, x
-		}
-		x.ForEach(func(_ int, v uint32) {
-			if y.containsOnly(v) {
-				n++
-			}
-		})
-		return n
-	}
 }
 
 // --- uint ∩ uint ----------------------------------------------------------
@@ -257,14 +98,14 @@ func pickAlgo(a, b []uint32, cfg Config) Algo {
 	return algo
 }
 
-func intersectUintUint(a, b []uint32, algo Algo) []uint32 {
+func intersectUintUint(a, b []uint32, algo Algo, out []uint32) []uint32 {
 	switch algo {
 	case AlgoGalloping:
-		return intersectGalloping(a, b, nil)
+		return intersectGalloping(a, b, out)
 	case AlgoMerge:
-		return intersectMerge(a, b, nil)
+		return intersectMerge(a, b, out)
 	default:
-		return intersectShuffle(a, b, nil)
+		return intersectShuffle(a, b, out)
 	}
 }
 
@@ -279,7 +120,9 @@ func intersectCountUintUint(a, b []uint32, algo Algo) int {
 	}
 }
 
-// intersectMerge is the scalar two-pointer merge intersection.
+// intersectMerge is the scalar two-pointer merge intersection — the
+// deliberately untouched "-RA" baseline and the oracle the differential
+// fuzz tests compare every other kernel against.
 func intersectMerge(a, b []uint32, out []uint32) []uint32 {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -314,39 +157,46 @@ func countMerge(a, b []uint32) int {
 	return n
 }
 
+// b2u is a branch-free bool→int conversion (the compiler emits SETcc,
+// no jump); the branch-free merges advance both cursors with it so the
+// hard-to-predict comparison never flushes the pipeline.
+func b2u(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // intersectShuffle is the stand-in for the SIMD shuffling algorithm of
 // Katsov/Schlegel et al.: it advances over the inputs in blocks of four
-// keys, skipping whole blocks whose ranges cannot overlap, and compares
-// key-by-key only within overlapping blocks. With 128-bit SSE registers
-// the original compares 4×4 lanes per instruction; the block-skip here
-// captures the same data-dependent fast path in portable Go.
+// keys, skipping whole blocks whose ranges cannot overlap, and merges
+// overlapping blocks with a branch-free two-pointer loop (on equality
+// both cursors advance via SETcc arithmetic instead of a branch). With
+// 128-bit SSE registers the original compares 4×4 lanes per
+// instruction; the block-skip plus branch-free window captures the same
+// data-dependent fast path in portable Go.
 func intersectShuffle(a, b []uint32, out []uint32) []uint32 {
 	i, j := 0, 0
 	la, lb := len(a), len(b)
 	for i+4 <= la && j+4 <= lb {
 		amax, bmax := a[i+3], b[j+3]
-		// Compare the 4-blocks; emit matches within the window.
-		if a[i+3] < b[j] { // disjoint: whole a-block below b-block
+		if amax < b[j] { // disjoint: whole a-block below b-block
 			i += 4
 			continue
 		}
-		if b[j+3] < a[i] { // disjoint: whole b-block below a-block
+		if bmax < a[i] { // disjoint: whole b-block below a-block
 			j += 4
 			continue
 		}
-		// Overlapping window: merge the two blocks scalar.
+		// Overlapping window: branch-free merge of the two blocks.
 		ai, bj := i, j
 		for ai < i+4 && bj < j+4 {
 			av, bv := a[ai], b[bj]
 			if av == bv {
 				out = append(out, av)
-				ai++
-				bj++
-			} else if av < bv {
-				ai++
-			} else {
-				bj++
 			}
+			ai += b2u(av <= bv)
+			bj += b2u(bv <= av)
 		}
 		if amax <= bmax {
 			i += 4
@@ -355,25 +205,19 @@ func intersectShuffle(a, b []uint32, out []uint32) []uint32 {
 			j += 4
 		}
 	}
-	// Scalar tail.
+	// Branch-free scalar tail.
 	for i < la && j < lb {
 		av, bv := a[i], b[j]
 		if av == bv {
 			out = append(out, av)
-			i++
-			j++
-		} else if av < bv {
-			i++
-		} else {
-			j++
 		}
+		i += b2u(av <= bv)
+		j += b2u(bv <= av)
 	}
 	return out
 }
 
 func countShuffle(a, b []uint32) int {
-	// Count via the same control flow; reuse a small stack buffer to
-	// avoid allocation.
 	i, j, n := 0, 0, 0
 	la, lb := len(a), len(b)
 	for i+4 <= la && j+4 <= lb {
@@ -389,15 +233,9 @@ func countShuffle(a, b []uint32) int {
 		ai, bj := i, j
 		for ai < i+4 && bj < j+4 {
 			av, bv := a[ai], b[bj]
-			if av == bv {
-				n++
-				ai++
-				bj++
-			} else if av < bv {
-				ai++
-			} else {
-				bj++
-			}
+			n += b2u(av == bv)
+			ai += b2u(av <= bv)
+			bj += b2u(bv <= av)
 		}
 		if amax <= bmax {
 			i += 4
@@ -408,15 +246,9 @@ func countShuffle(a, b []uint32) int {
 	}
 	for i < la && j < lb {
 		av, bv := a[i], b[j]
-		if av == bv {
-			n++
-			i++
-			j++
-		} else if av < bv {
-			i++
-		} else {
-			j++
-		}
+		n += b2u(av == bv)
+		i += b2u(av <= bv)
+		j += b2u(bv <= av)
 	}
 	return n
 }
@@ -607,8 +439,10 @@ func intersectCountUintBitset(a []uint32, b Set) int {
 
 // --- composite ∩ composite ------------------------------------------------
 
-func intersectCompositeComposite(a, b Set, cfg Config) Set {
-	var out []uint32
+// intersectCompositeComposite merges the block lists, intersecting
+// aligned blocks word-parallel (dense·dense), by probe (sparse·dense)
+// or by branch-free merge (sparse·sparse), appending values to out.
+func intersectCompositeComposite(a, b Set, out []uint32) []uint32 {
 	i, j := 0, 0
 	for i < len(a.blocks) && j < len(b.blocks) {
 		ba, bb := &a.blocks[i], &b.blocks[j]
@@ -634,9 +468,7 @@ func intersectCompositeComposite(a, b Set, cfg Config) Set {
 			}
 		case ba.dense != bb.dense:
 			sp, dn := ba, bb
-			if bb.dense {
-				sp, dn = ba, bb
-			} else {
+			if ba.dense {
 				sp, dn = bb, ba
 			}
 			for _, o := range sp.sparse {
@@ -648,19 +480,62 @@ func intersectCompositeComposite(a, b Set, cfg Config) Set {
 			x, y := ba.sparse, bb.sparse
 			p, q := 0, 0
 			for p < len(x) && q < len(y) {
-				if x[p] == y[q] {
-					out = append(out, vbase+uint32(x[p]))
-					p++
-					q++
-				} else if x[p] < y[q] {
-					p++
-				} else {
-					q++
+				xv, yv := x[p], y[q]
+				if xv == yv {
+					out = append(out, vbase+uint32(xv))
 				}
+				p += b2u(xv <= yv)
+				q += b2u(yv <= xv)
 			}
 		}
 		i++
 		j++
 	}
-	return NewComposite(out)
+	return out
+}
+
+// intersectCountCompositeComposite merges the block lists and counts per
+// block without materialization (word-parallel on dense blocks).
+func intersectCountCompositeComposite(a, b Set) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a.blocks) && j < len(b.blocks) {
+		ba, bb := &a.blocks[i], &b.blocks[j]
+		if ba.id < bb.id {
+			i++
+			continue
+		}
+		if bb.id < ba.id {
+			j++
+			continue
+		}
+		switch {
+		case ba.dense && bb.dense:
+			for w := 0; w < blockWords; w++ {
+				n += bits.OnesCount64(ba.words[w] & bb.words[w])
+			}
+		case ba.dense != bb.dense:
+			sp, dn := ba, bb
+			if ba.dense {
+				sp, dn = bb, ba
+			}
+			for _, o := range sp.sparse {
+				if dn.words[o/64]&(1<<(o%64)) != 0 {
+					n++
+				}
+			}
+		default:
+			x, y := ba.sparse, bb.sparse
+			p, q := 0, 0
+			for p < len(x) && q < len(y) {
+				xv, yv := x[p], y[q]
+				n += b2u(xv == yv)
+				p += b2u(xv <= yv)
+				q += b2u(yv <= xv)
+			}
+		}
+		i++
+		j++
+	}
+	return n
 }

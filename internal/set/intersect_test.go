@@ -85,11 +85,11 @@ func TestIntersectAlgorithmsAgree(t *testing.T) {
 		want := refIntersect(av, bv)
 		sa, sb := FromSorted(av), FromSorted(bv)
 		for _, algo := range algos {
-			got := IntersectCfg(sa, sb, Config{Algo: algo})
+			got := NewKernel(Config{Algo: algo}).Intersect(sa, sb)
 			if !sliceEq(got.Slice(), want) {
 				t.Fatalf("algo %s: got %v want %v", algo, got.Slice(), want)
 			}
-			if n := IntersectCountCfg(sa, sb, Config{Algo: algo}); n != len(want) {
+			if n := NewKernel(Config{Algo: algo}).Count(sa, sb); n != len(want) {
 				t.Fatalf("algo %s: count %d want %d", algo, n, len(want))
 			}
 		}
@@ -103,12 +103,12 @@ func TestBitByBitMatchesWordParallel(t *testing.T) {
 		av := randomSet(rng, 200, 2000)
 		bv := randomSet(rng, 200, 2000)
 		sa, sb := NewBitset(av), NewBitset(bv)
-		fast := IntersectCfg(sa, sb, Config{})
-		slow := IntersectCfg(sa, sb, Config{BitByBit: true})
+		fast := Intersect(sa, sb)
+		slow := NewKernel(Config{BitByBit: true}).Intersect(sa, sb)
 		if !Equal(fast, slow) {
 			t.Fatalf("bit-by-bit mismatch: %v vs %v", fast.Slice(), slow.Slice())
 		}
-		if IntersectCountCfg(sa, sb, Config{BitByBit: true}) != fast.Card() {
+		if NewKernel(Config{BitByBit: true}).Count(sa, sb) != fast.Card() {
 			t.Fatal("bit-by-bit count mismatch")
 		}
 	}
@@ -207,7 +207,7 @@ func TestUnionDifference(t *testing.T) {
 		}
 		for _, sa := range allLayouts(av) {
 			for _, sb := range allLayouts(bv) {
-				u := Union(sa, sb)
+				u := DefaultKernel.Union(sa, sb)
 				if u.Card() != len(refU) {
 					t.Fatalf("union card %d want %d", u.Card(), len(refU))
 				}
@@ -216,7 +216,7 @@ func TestUnionDifference(t *testing.T) {
 						t.Fatalf("union spurious %d", v)
 					}
 				})
-				d := Difference(sa, sb)
+				d := DefaultKernel.Difference(sa, sb)
 				if d.Card() != len(refD) {
 					t.Fatalf("%s\\%s diff card %d want %d", sa.Layout(), sb.Layout(), d.Card(), len(refD))
 				}

@@ -18,13 +18,31 @@ import (
 // itself be 8-byte aligned):
 //
 //	u32 layout tag | u32 cardinality
-//	Uint:      card × u32 values, padded to 8 bytes
-//	Bitset:    u32 base | u32 nwords, nwords × u64 words,
-//	           nwords × u32 cum, padded to 8 bytes
-//	Composite: card × u32 values, padded to 8 bytes
-//	           (blocks are re-chosen deterministically on decode)
+//	Uint (tag 0):   card × u32 values, padded to 8 bytes
+//	Bitset (tag 1): u32 base | u32 nwords, nwords × u64 words,
+//	                nwords × u32 cum, padded to 8 bytes
+//	Composite (tag 3, native block form):
+//	                u32 nblocks | u32 ndense
+//	                nblocks × (u32 id | u32 info), info = 1<<31 for a
+//	                  dense block, else the sparse length
+//	                ndense × 4 u64 dense words (block order)
+//	                total-sparse × u16 offsets, padded to 8 bytes
+//
+// Tag 2 is the legacy composite encoding (card × u32 values, blocks
+// re-chosen deterministically on decode); the decoder still accepts it
+// so pre-existing snapshots restore, but the writer always emits the
+// native form, whose dense words and sparse offsets alias the mmap'd
+// segment instead of being rebuilt.
 //
 // The empty set encodes as {Uint, 0}.
+
+// compositeNativeTag is the wire tag of the native block-form composite
+// encoding. It is distinct from uint32(Composite) (the legacy value-list
+// tag, 2) so decoders distinguish the two generations.
+const compositeNativeTag = 3
+
+// blockDenseFlag marks a dense block in the native composite header.
+const blockDenseFlag = 1 << 31
 
 // AppendTo appends the binary encoding of s to dst and returns the
 // extended slice. len(dst) must be a multiple of 8 (encodings are
@@ -33,7 +51,11 @@ func (s Set) AppendTo(dst []byte) []byte {
 	if len(dst)%8 != 0 {
 		panic(fmt.Sprintf("set: AppendTo at misaligned offset %d", len(dst)))
 	}
-	dst = AppendUint32(dst, uint32(s.layout))
+	if s.layout == Composite {
+		dst = AppendUint32(dst, compositeNativeTag)
+	} else {
+		dst = AppendUint32(dst, uint32(s.layout))
+	}
 	dst = AppendUint32(dst, uint32(s.card))
 	switch s.layout {
 	case Uint:
@@ -61,9 +83,37 @@ func (s Set) AppendTo(dst []byte) []byte {
 			dst = AppendUint32(dst, c)
 		}
 	case Composite:
-		s.ForEach(func(_ int, v uint32) {
-			dst = AppendUint32(dst, v)
-		})
+		ndense := 0
+		for i := range s.blocks {
+			if s.blocks[i].dense {
+				ndense++
+			}
+		}
+		dst = AppendUint32(dst, uint32(len(s.blocks)))
+		dst = AppendUint32(dst, uint32(ndense))
+		for i := range s.blocks {
+			b := &s.blocks[i]
+			dst = AppendUint32(dst, b.id)
+			if b.dense {
+				dst = AppendUint32(dst, blockDenseFlag)
+			} else {
+				dst = AppendUint32(dst, uint32(len(b.sparse)))
+			}
+		}
+		for i := range s.blocks {
+			if b := &s.blocks[i]; b.dense {
+				for _, w := range b.words {
+					dst = AppendUint64(dst, w)
+				}
+			}
+		}
+		for i := range s.blocks {
+			if b := &s.blocks[i]; !b.dense {
+				for _, o := range b.sparse {
+					dst = append(dst, byte(o), byte(o>>8))
+				}
+			}
+		}
 	}
 	return pad8(dst)
 }
@@ -72,10 +122,19 @@ func (s Set) AppendTo(dst []byte) []byte {
 func (s Set) EncodedSize() int {
 	n := 8
 	switch s.layout {
-	case Uint, Composite:
+	case Uint:
 		n += 4 * s.card
 	case Bitset:
 		n += 8 + 12*len(s.words)
+	case Composite:
+		n += 8 + 8*len(s.blocks)
+		for i := range s.blocks {
+			if b := &s.blocks[i]; b.dense {
+				n += 8 * blockWords
+			} else {
+				n += 2 * len(b.sparse)
+			}
+		}
 	}
 	return align8(n)
 }
@@ -90,12 +149,12 @@ func FromBuffers(b []byte) (Set, int, error) {
 	if len(b) < 8 {
 		return Set{}, 0, fmt.Errorf("set: truncated header (%d bytes)", len(b))
 	}
-	tag := Layout(binary.LittleEndian.Uint32(b))
+	tag := binary.LittleEndian.Uint32(b)
 	card := int(binary.LittleEndian.Uint32(b[4:]))
 	if card < 0 {
 		return Set{}, 0, fmt.Errorf("set: negative cardinality")
 	}
-	switch tag {
+	switch Layout(tag) {
 	case Uint:
 		size := align8(8 + 4*card)
 		if len(b) < size {
@@ -129,6 +188,9 @@ func FromBuffers(b []byte) (Set, int, error) {
 		}
 		return Set{layout: Bitset, card: card, base: base, words: words, cum: cum}, size, nil
 	case Composite:
+		// Legacy tag 2: plain value list. Rebuild the blocks from it
+		// (deterministic: NewComposite's block choice depends only on the
+		// values). Only pre-native snapshots carry this form.
 		size := align8(8 + 4*card)
 		if len(b) < size {
 			return Set{}, 0, fmt.Errorf("set: truncated composite payload (want %d bytes, have %d)", size, len(b))
@@ -137,10 +199,58 @@ func FromBuffers(b []byte) (Set, int, error) {
 		if err != nil {
 			return Set{}, 0, err
 		}
-		// Composite blocks mix u64 words and u16 sparse payloads; rebuild
-		// them from the value list (deterministic: NewComposite's block
-		// choice depends only on the values).
 		return NewComposite(vals), size, nil
+	case Layout(compositeNativeTag):
+		if len(b) < 16 {
+			return Set{}, 0, fmt.Errorf("set: truncated composite header")
+		}
+		nb := int(binary.LittleEndian.Uint32(b[8:]))
+		ndense := int(binary.LittleEndian.Uint32(b[12:]))
+		if nb < 0 || ndense < 0 || ndense > nb || len(b) < 16+8*nb {
+			return Set{}, 0, fmt.Errorf("set: truncated composite block headers (%d blocks, %d bytes)", nb, len(b))
+		}
+		nsparse, seenDense := 0, 0
+		for k := 0; k < nb; k++ {
+			info := binary.LittleEndian.Uint32(b[16+8*k+4:])
+			if info&blockDenseFlag != 0 {
+				seenDense++
+			} else if int(info) > BlockBits {
+				return Set{}, 0, fmt.Errorf("set: composite sparse block length %d exceeds block size", info)
+			} else {
+				nsparse += int(info)
+			}
+		}
+		if seenDense != ndense {
+			return Set{}, 0, fmt.Errorf("set: composite dense count mismatch (header %d, blocks %d)", ndense, seenDense)
+		}
+		wordsOff := 16 + 8*nb
+		sparseOff := wordsOff + 8*blockWords*ndense
+		size := align8(sparseOff + 2*nsparse)
+		if len(b) < size {
+			return Set{}, 0, fmt.Errorf("set: truncated composite payload (want %d bytes, have %d)", size, len(b))
+		}
+		denseWords, err := aliasUint64s(b[wordsOff:], blockWords*ndense)
+		if err != nil {
+			return Set{}, 0, err
+		}
+		sparseAll, err := aliasUint16s(b[sparseOff:], nsparse)
+		if err != nil {
+			return Set{}, 0, err
+		}
+		blocks := make([]block, nb)
+		wi, si := 0, 0
+		for k := 0; k < nb; k++ {
+			id := binary.LittleEndian.Uint32(b[16+8*k:])
+			info := binary.LittleEndian.Uint32(b[16+8*k+4:])
+			if info&blockDenseFlag != 0 {
+				blocks[k] = block{id: id, dense: true, words: denseWords[wi : wi+blockWords]}
+				wi += blockWords
+			} else {
+				blocks[k] = block{id: id, sparse: sparseAll[si : si+int(info)]}
+				si += int(info)
+			}
+		}
+		return Set{layout: Composite, card: card, blocks: blocks}, size, nil
 	}
 	return Set{}, 0, fmt.Errorf("set: unknown layout tag %d", tag)
 }
@@ -204,6 +314,25 @@ func aliasUint32s(b []byte, n int) ([]uint32, error) {
 		return out, nil
 	}
 	return unsafe.Slice((*uint32)(p), n), nil
+}
+
+// aliasUint16s is aliasUint32s for []uint16 (composite sparse offsets).
+func aliasUint16s(b []byte, n int) ([]uint16, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if len(b) < 2*n {
+		return nil, fmt.Errorf("set: buffer too short for %d uint16s", n)
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%2 != 0 {
+		out := make([]uint16, n)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint16(b[2*i:])
+		}
+		return out, nil
+	}
+	return unsafe.Slice((*uint16)(p), n), nil
 }
 
 // aliasUint64s is aliasUint32s for []uint64.

@@ -2,6 +2,7 @@ package set
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"emptyheaded/internal/gen"
@@ -65,7 +66,7 @@ func TestSetSerializeTransientBitset(t *testing.T) {
 	// synthesize it so the restored set ranks in O(1).
 	a := NewBitset([]uint32{64, 65, 130, 200, 210, 260, 600})
 	b := NewBitset([]uint32{64, 130, 131, 210, 600, 601})
-	inter := IntersectCfg(a, b, Config{})
+	inter := Intersect(a, b)
 	if inter.Layout() != Bitset {
 		t.Skipf("intersection produced %v, wanted a transient bitset", inter.Layout())
 	}
@@ -113,6 +114,72 @@ func TestSetSerializeTruncated(t *testing.T) {
 	bad[0] = 0x7f
 	if _, _, err := FromBuffers(bad); err == nil {
 		t.Fatal("unknown layout tag not detected")
+	}
+}
+
+func TestSetSerializeLegacyCompositeTag(t *testing.T) {
+	// Pre-native snapshots encoded composites as tag 2 + the raw value
+	// list. Hand-build that form and check the decoder still restores it
+	// — and that re-encoding upgrades to the native block form (tag 3).
+	vals := gen.DenseSparseSet(256, 64, 1<<22, 11)
+	var legacy []byte
+	legacy = AppendUint32(legacy, uint32(Composite)) // legacy tag 2
+	legacy = AppendUint32(legacy, uint32(len(vals)))
+	for _, v := range vals {
+		legacy = AppendUint32(legacy, v)
+	}
+	for len(legacy)%8 != 0 {
+		legacy = append(legacy, 0)
+	}
+	got, n, err := FromBuffers(legacy)
+	if err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if n != len(legacy) {
+		t.Fatalf("legacy decode consumed %d of %d bytes", n, len(legacy))
+	}
+	want := NewComposite(vals)
+	if got.Layout() != Composite || !Equal(got, want) {
+		t.Fatalf("legacy decode mismatch: layout %v", got.Layout())
+	}
+	re := got.AppendTo(nil)
+	if tag := re[0]; tag != 3 {
+		t.Fatalf("re-encode emitted tag %d, want native tag 3", tag)
+	}
+	if !bytes.Equal(re, want.AppendTo(nil)) {
+		t.Fatal("re-encode of legacy decode differs from native encode")
+	}
+}
+
+func TestSetSerializeCompositeCorrupt(t *testing.T) {
+	s := BuildLayout(gen.DenseSparseSet(256, 64, 1<<22, 12), Composite)
+	enc := s.AppendTo(nil)
+	for cut := 0; cut < len(enc); cut += 5 {
+		if _, _, err := FromBuffers(enc[:cut]); err == nil {
+			t.Fatalf("composite truncation at %d/%d bytes not detected", cut, len(enc))
+		}
+	}
+	// Dense-count header inconsistent with the block headers.
+	bad := append([]byte(nil), enc...)
+	bad[12]++
+	if _, _, err := FromBuffers(bad); err == nil {
+		t.Fatal("dense count mismatch not detected")
+	}
+	// Sparse block length exceeding the block size.
+	bad = append([]byte(nil), enc...)
+	for k := 0; ; k++ {
+		off := 16 + 8*k + 4
+		if off+4 > len(bad) {
+			t.Fatal("test set has no sparse block")
+		}
+		info := binary.LittleEndian.Uint32(bad[off:])
+		if info&(1<<31) == 0 {
+			binary.LittleEndian.PutUint32(bad[off:], 257)
+			break
+		}
+	}
+	if _, _, err := FromBuffers(bad); err == nil {
+		t.Fatal("oversized sparse block not detected")
 	}
 }
 

@@ -226,8 +226,16 @@ const BitsetCostRatio = BlockBits
 // minBitsetCard avoids pathological tiny bitsets.
 const minBitsetCard = 4
 
-// ChooseLayout implements the set-level layout optimizer (§4.4): bitset
-// when the range of the data is at most BlockBits bits per element,
+// minCompositeCard is the floor below which the block-hybrid layout
+// cannot pay for its block headers and per-block dispatch.
+const minCompositeCard = 2 * denseBlockThreshold
+
+// ChooseLayout implements the set-level layout optimizer (§4.4),
+// extended with the block-hybrid band: bitset when the whole range is
+// at most BlockBits bits per element; composite when the set is
+// globally sparse but at least half its members cluster into locally
+// dense 256-value blocks (the skewed-degree shape where whole-range
+// bitsets are too wide and uint arrays forgo word-parallel kernels);
 // uint otherwise.
 func ChooseLayout(vals []uint32) Layout {
 	n := len(vals)
@@ -238,7 +246,31 @@ func ChooseLayout(vals []uint32) Layout {
 	if rng <= uint64(n)*BitsetCostRatio {
 		return Bitset
 	}
+	if n >= minCompositeCard && compositeWins(vals) {
+		return Composite
+	}
 	return Uint
+}
+
+// compositeWins reports whether at least half the members fall in
+// blocks that NewComposite would store dense (run length ≥
+// denseBlockThreshold per 256-value block) — the one-pass local-density
+// probe behind the Composite band of ChooseLayout.
+func compositeWins(vals []uint32) bool {
+	dense := 0
+	i := 0
+	for i < len(vals) {
+		id := vals[i] / BlockBits
+		j := i + 1
+		for j < len(vals) && vals[j]/BlockBits == id {
+			j++
+		}
+		if j-i >= denseBlockThreshold {
+			dense += j - i
+		}
+		i = j
+	}
+	return 2*dense >= len(vals)
 }
 
 // BuildAuto builds a set from a strictly increasing slice using the

@@ -20,7 +20,7 @@ func TestMerge3(t *testing.T) {
 		{[]uint32{1, 2, 3}, nil, []uint32{1, 2, 3, 4}, nil},
 	}
 	for _, c := range cases {
-		got := Merge3(FromSorted(c.base), FromSorted(c.ins), FromSorted(c.del))
+		got := DefaultKernel.Merge3(FromSorted(c.base), FromSorted(c.ins), FromSorted(c.del))
 		if len(got) == 0 {
 			got = nil
 		}
@@ -61,7 +61,7 @@ func TestMerge3RandomAgainstModel(t *testing.T) {
 			wantS = append(wantS, v)
 		}
 		sort.Slice(wantS, func(x, y int) bool { return wantS[x] < wantS[y] })
-		got := Merge3(FromSorted(b), FromSorted(i), FromSorted(d))
+		got := DefaultKernel.Merge3(FromSorted(b), FromSorted(i), FromSorted(d))
 		if len(got) == 0 {
 			got = nil
 		}

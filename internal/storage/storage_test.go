@@ -23,13 +23,13 @@ func testSnapshot(t *testing.T, layout trie.LayoutFunc) *Snapshot {
 	g := gen.PowerLaw(500, 4000, 2.2, 7)
 	edge := trie.FromAdjacency(g.Adj, layout)
 
-	rb := trie.NewBuilder(1, semiring.Sum, layout)
+	rb := trie.NewColumnarBuilder(1, semiring.Sum, layout)
 	for i := 0; i < 300; i++ {
 		rb.AddAnn(float64(i)*0.5, uint32(i*3))
 	}
 	ranks := rb.Build()
 
-	tb := trie.NewBuilder(3, semiring.None, layout)
+	tb := trie.NewColumnarBuilder(3, semiring.None, layout)
 	for i := 0; i < 1000; i++ {
 		tb.Add(uint32(i%17), uint32(i%39), uint32(i%71))
 	}
@@ -64,7 +64,7 @@ func TestWriteOpenRoundTrip(t *testing.T) {
 	for _, lc := range []struct {
 		name   string
 		layout trie.LayoutFunc
-	}{{"auto", trie.AutoLayout}, {"uint", trie.UintLayout}, {"bitset", trie.BitsetLayout}} {
+	}{{"auto", trie.AutoLayout}, {"uint", trie.UintLayout}, {"bitset", trie.BitsetLayout}, {"composite", trie.CompositeLayout}} {
 		t.Run(lc.name, func(t *testing.T) {
 			dir := t.TempDir()
 			snap := testSnapshot(t, lc.layout)

@@ -23,7 +23,10 @@ import (
 // package supplies the relation-level, set-level, and block-level policies.
 type LayoutFunc func(level int, vals []uint32) set.Layout
 
-// AutoLayout is the paper's default set-level optimizer.
+// AutoLayout is the paper's default set-level optimizer: uint for small
+// or sparse sets, bitset when the value range is dense enough that the
+// word-parallel kernels win, composite when density is clustered in runs
+// rather than uniform (see set.ChooseLayout for the thresholds).
 func AutoLayout(_ int, vals []uint32) set.Layout { return set.ChooseLayout(vals) }
 
 // UintLayout stores every set as a sorted uint array (relation-level "-R").
@@ -160,6 +163,48 @@ func memBytes(n *Node) int {
 	return b
 }
 
+// LevelLayoutProfile describes the physical layouts the layout optimizer
+// chose for one trie level: how many sets landed in each layout and how
+// many members they hold. Maps are keyed by set.Layout names ("uint",
+// "bitset", "composite") for direct JSON rendering.
+type LevelLayoutProfile struct {
+	Level   int              `json:"level"`
+	Sets    map[string]int64 `json:"sets"`
+	Members map[string]int64 `json:"members"`
+}
+
+// LayoutProfile walks the trie and reports the per-level layout mix —
+// the observability face of the adaptive layout optimizer (EXPLAIN and
+// /debug/relations render it so a dense level showing up as uint is
+// visible, not silent).
+func (t *Trie) LayoutProfile() []LevelLayoutProfile {
+	if t == nil || t.Root == nil || t.Arity == 0 {
+		return nil
+	}
+	prof := make([]LevelLayoutProfile, t.Arity)
+	for i := range prof {
+		prof[i] = LevelLayoutProfile{
+			Level:   i,
+			Sets:    map[string]int64{},
+			Members: map[string]int64{},
+		}
+	}
+	var walk func(n *Node, lvl int)
+	walk = func(n *Node, lvl int) {
+		if n == nil || lvl >= t.Arity {
+			return
+		}
+		name := n.Set.Layout().String()
+		prof[lvl].Sets[name]++
+		prof[lvl].Members[name] += int64(n.Set.Card())
+		for _, c := range n.Children {
+			walk(c, lvl+1)
+		}
+	}
+	walk(t.Root, 0)
+	return prof
+}
+
 // Builder accumulates tuples row-at-a-time and materializes a Trie. It is
 // a thin adapter over ColumnarBuilder: each Add scatters the tuple into
 // per-attribute columns (amortized appends, no per-row allocation), so
@@ -172,6 +217,11 @@ type Builder struct {
 // NewBuilder returns a builder for relations of the given arity. op governs
 // how duplicate-tuple annotations combine; layout picks per-set layouts
 // (nil means the set-level auto optimizer).
+//
+// Deprecated: use NewColumnarBuilder directly — it exposes the same
+// Add/AddAnn/Build API without the extra indirection, and every engine
+// call site has moved to it. The adapter remains only for external code
+// still on the row API.
 func NewBuilder(arity int, op semiring.Op, layout LayoutFunc) *Builder {
 	return &Builder{cb: NewColumnarBuilder(arity, op, layout)}
 }
